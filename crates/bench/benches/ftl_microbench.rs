@@ -1,0 +1,114 @@
+//! Per-FTL microbenchmarks: address-translation throughput on the hit
+//! path, the miss/eviction path, and the GC-heavy write path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tpftl_core::driver;
+use tpftl_core::env::SsdEnv;
+use tpftl_core::ftl::{AccessCtx, Cdftl, Dftl, Ftl, OptimalFtl, Sftl, TpFtl, TpftlConfig};
+use tpftl_core::SsdConfig;
+
+const LOGICAL: u64 = 64 << 20; // 16 K pages, 16 translation pages
+
+fn build(kind: &str, config: &SsdConfig) -> Box<dyn Ftl> {
+    match kind {
+        "optimal" => Box::new(OptimalFtl::new(config)),
+        "dftl" => Box::new(Dftl::new(config).expect("budget")),
+        "sftl" => Box::new(Sftl::new(config).expect("budget")),
+        "cdftl" => Box::new(Cdftl::new(config).expect("budget")),
+        "tpftl" => Box::new(TpFtl::new(config, TpftlConfig::full()).expect("budget")),
+        other => unreachable!("unknown FTL {other}"),
+    }
+}
+
+fn config() -> SsdConfig {
+    let mut c = SsdConfig::paper_default(LOGICAL);
+    c.cache_bytes = c.gtd_bytes() + 16 * 1024;
+    c
+}
+
+/// Steady-state hit path: one hot entry translated repeatedly.
+fn bench_hit_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("translate_hit");
+    g.throughput(Throughput::Elements(1));
+    for kind in ["optimal", "dftl", "sftl", "cdftl", "tpftl"] {
+        let cfg = config();
+        let mut ftl = build(kind, &cfg);
+        let mut env = SsdEnv::new(cfg).expect("env");
+        driver::bootstrap(ftl.as_mut(), &mut env).expect("bootstrap");
+        driver::serve_page_access(ftl.as_mut(), &mut env, 42, AccessCtx::single(true))
+            .expect("warm");
+        g.bench_with_input(BenchmarkId::from_parameter(kind), kind, |b, _| {
+            b.iter(|| {
+                ftl.translate(&mut env, 42, &AccessCtx::single(false))
+                    .expect("hit")
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Miss/eviction path: a strided scan that defeats every cache.
+fn bench_miss_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("translate_miss_scan");
+    g.throughput(Throughput::Elements(256));
+    for kind in ["dftl", "sftl", "cdftl", "tpftl"] {
+        let cfg = config();
+        let mut ftl = build(kind, &cfg);
+        let mut env = SsdEnv::new(cfg.clone()).expect("env");
+        driver::bootstrap(ftl.as_mut(), &mut env).expect("bootstrap");
+        let pages = cfg.logical_pages() as u32;
+        let mut cursor: u32 = 0;
+        g.bench_with_input(BenchmarkId::from_parameter(kind), kind, |b, _| {
+            b.iter(|| {
+                for _ in 0..256 {
+                    cursor = (cursor.wrapping_add(4099)) % pages;
+                    driver::serve_page_access(
+                        ftl.as_mut(),
+                        &mut env,
+                        cursor,
+                        AccessCtx::single(false),
+                    )
+                    .expect("serve");
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Write path under GC pressure: hot overwrites on a pre-filled device.
+fn bench_write_gc_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_with_gc");
+    g.throughput(Throughput::Elements(256));
+    for kind in ["optimal", "dftl", "tpftl"] {
+        let mut cfg = config();
+        cfg.prefill_frac = 1.0;
+        let mut ftl = build(kind, &cfg);
+        let mut env = SsdEnv::new(cfg.clone()).expect("env");
+        driver::bootstrap(ftl.as_mut(), &mut env).expect("bootstrap");
+        let pages = cfg.logical_pages() as u32;
+        let mut cursor: u32 = 0;
+        g.bench_with_input(BenchmarkId::from_parameter(kind), kind, |b, _| {
+            b.iter(|| {
+                for _ in 0..256 {
+                    cursor = (cursor.wrapping_add(127)) % (pages / 8);
+                    driver::serve_page_access(
+                        ftl.as_mut(),
+                        &mut env,
+                        cursor,
+                        AccessCtx::single(true),
+                    )
+                    .expect("serve");
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hit_path, bench_miss_path, bench_write_gc_path
+);
+criterion_main!(micro);

@@ -1,0 +1,104 @@
+//! Criterion benches, one group per paper table/figure family.
+//!
+//! Each bench times the experiment kernel at a reduced scale (the full
+//! regeneration is the `repro` binary's job); together they keep every
+//! experiment path exercised and allow regression-tracking the simulator's
+//! throughput per experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpftl_experiments::runner::{device_config, run_one, FtlKind, Scale};
+use tpftl_experiments::{ablation, cachesweep, fig1, fig10, fig2, fig6, models, table2, table4};
+use tpftl_trace::presets::Workload;
+
+/// Tiny but non-trivial scale: 4,000 / 5,000 requests per run.
+const SCALE: Scale = Scale(0.002);
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2/dftl_vs_optimal", |b| b.iter(|| table2::run(SCALE)));
+}
+
+fn bench_table4(c: &mut Criterion) {
+    c.bench_function("table4/trace_characteristics", |b| {
+        b.iter(|| table4::run(SCALE))
+    });
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1/cache_distribution", |b| b.iter(|| fig1::run(SCALE)));
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2/spatial_locality", |b| b.iter(|| fig2::run(SCALE)));
+}
+
+/// Figure 6: bench each (workload, FTL) cell separately so per-FTL
+/// simulation cost is visible, plus the whole grid.
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    for workload in [Workload::Financial1, Workload::MsrTs] {
+        for kind in FtlKind::FIG6 {
+            let config = device_config(workload);
+            let id = BenchmarkId::new(
+                workload.name(),
+                format!("{:?}", kind).replace("TpftlVariant", "TpftlV"),
+            );
+            g.bench_with_input(id, &(workload, kind), |b, &(w, k)| {
+                b.iter(|| run_one(k, w, SCALE, &config).expect("run"));
+            });
+        }
+    }
+    g.finish();
+    c.bench_function("fig6/full_grid", |b| b.iter(|| fig6::run(SCALE, false)));
+}
+
+fn bench_fig7_8(c: &mut Criterion) {
+    c.bench_function("fig7_8/ablation", |b| b.iter(|| ablation::run(SCALE)));
+}
+
+fn bench_fig8c_9(c: &mut Criterion) {
+    // The sweep's largest point holds a full mapping table; bench one
+    // representative small and one large fraction instead of all eight.
+    let mut g = c.benchmark_group("fig8c_9");
+    for frac in [1.0 / 128.0, 1.0 / 8.0] {
+        let w = Workload::Financial1;
+        let config = device_config(w).with_cache_fraction(frac);
+        g.bench_with_input(
+            BenchmarkId::new("tpftl_cache_fraction", format!("1/{:.0}", 1.0 / frac)),
+            &frac,
+            |b, _| {
+                b.iter(|| run_one(FtlKind::Tpftl, w, SCALE, &config).expect("run"));
+            },
+        );
+    }
+    g.finish();
+    c.bench_function("fig8c_9/full_sweep", |b| {
+        b.iter(|| cachesweep::run(Scale(0.0008)))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("fig10/space_utilization", |b| {
+        b.iter(|| fig10::run(Scale(0.0008)))
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    c.bench_function("models/section3_validation", |b| {
+        b.iter(|| models::run(SCALE))
+    });
+}
+
+criterion_group!(
+    name = paper;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2,
+    bench_table4,
+    bench_fig1,
+    bench_fig2,
+    bench_fig6,
+    bench_fig7_8,
+    bench_fig8c_9,
+    bench_fig10,
+    bench_models
+);
+criterion_main!(paper);

@@ -1,0 +1,194 @@
+//! SSD and mapping-cache configuration.
+//!
+//! Encodes the paper's experiment setup (Section 5.1): the Table 3 flash
+//! parameters, the "SSD as large as the trace's logical address space"
+//! sizing rule, and the "mapping cache as large as a block-level FTL's
+//! mapping table plus the GTD" cache rule (8 KB + 512 B for the 512 MB
+//! Financial configuration; 256 KB + 16 KB for the 16 GB MSR one).
+
+use serde::{Deserialize, Serialize};
+use tpftl_flash::FlashGeometry;
+
+/// Garbage-collection victim-selection policy (Section 2.3 of the paper
+/// surveys GC-policy and wear-leveling work; the paper itself uses greedy).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum GcPolicy {
+    /// The paper's policy: the sealed block with the fewest valid pages.
+    #[default]
+    Greedy,
+    /// Cost-benefit (Kawaguchi-style): maximize `(1 − u) / 2u · age` over
+    /// the least-utilized candidates, trading reclaim efficiency against
+    /// block age so cold blocks eventually turn over.
+    CostBenefit,
+    /// Greedy, but ties (and near-ties) broken toward the block with the
+    /// fewest erase cycles; when the device's wear spread exceeds
+    /// `max_wear_delta`, the least-worn sealed block is collected instead
+    /// (simple static wear leveling).
+    WearAware {
+        /// Allowed spread between the most- and least-worn blocks.
+        max_wear_delta: u64,
+    },
+}
+
+/// Full configuration of a simulated SSD.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SsdConfig {
+    /// Host-visible capacity in bytes; set to the trace's address space.
+    pub logical_bytes: u64,
+    /// Extra physical capacity fraction (Table 3: 15 %).
+    pub over_provision: f64,
+    /// Total mapping-cache budget in bytes, *including* the GTD.
+    pub cache_bytes: usize,
+    /// GC trigger: collect when free blocks drop below this.
+    pub gc_low_blocks: usize,
+    /// GC target: collect until free blocks reach this.
+    pub gc_high_blocks: usize,
+    /// Fraction of the logical space sequentially written before the
+    /// measured run (statistics are reset afterwards). The paper assumes
+    /// the SSD "is in full use" for the Financial volumes; the MSR volumes
+    /// are mostly empty.
+    pub prefill_frac: f64,
+    /// GC victim-selection policy (the paper uses greedy).
+    #[serde(default)]
+    pub gc_policy: GcPolicy,
+}
+
+impl SsdConfig {
+    /// Paper configuration for a device of `logical_bytes`, with the cache
+    /// sized by the block-level-table + GTD rule.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tpftl_core::SsdConfig;
+    ///
+    /// let fin = SsdConfig::paper_default(512 << 20);
+    /// // 8 KB block-level table + 512 B GTD (Section 5.1).
+    /// assert_eq!(fin.cache_bytes, 8 * 1024 + 512);
+    /// let msr = SsdConfig::paper_default(16 << 30);
+    /// // 256 KB + 16 KB.
+    /// assert_eq!(msr.cache_bytes, 256 * 1024 + 16 * 1024);
+    /// ```
+    pub fn paper_default(logical_bytes: u64) -> Self {
+        let mut cfg = Self {
+            logical_bytes,
+            over_provision: 0.15,
+            cache_bytes: 0,
+            gc_low_blocks: 0,
+            gc_high_blocks: 0,
+            prefill_frac: 0.0,
+            gc_policy: GcPolicy::Greedy,
+        };
+        cfg.cache_bytes = cfg.paper_cache_bytes();
+        // Watermarks scale with the device so that small test devices do
+        // not reserve more free space than their over-provisioning allows.
+        // The gap is one block: GC reclaims incrementally (one victim per
+        // trigger), spreading its cost over requests the way the paper's
+        // per-request GC accounting assumes, instead of stalling one
+        // unlucky request behind a multi-block collection cascade.
+        let blocks = cfg.geometry().num_blocks;
+        cfg.gc_low_blocks = (blocks / 300).clamp(2, 8);
+        cfg.gc_high_blocks = cfg.gc_low_blocks + 1;
+        cfg
+    }
+
+    /// Flash geometry per Table 3.
+    pub fn geometry(&self) -> FlashGeometry {
+        FlashGeometry::paper_default(self.logical_bytes, self.over_provision)
+    }
+
+    /// Number of host-visible 4 KB pages.
+    pub fn logical_pages(&self) -> u64 {
+        self.logical_bytes / 4096
+    }
+
+    /// Mapping entries per translation page (4 KB page / 4 B PPN).
+    pub fn entries_per_tp(&self) -> usize {
+        1024
+    }
+
+    /// Number of translation pages covering the logical space.
+    pub fn num_vtpns(&self) -> u64 {
+        self.logical_pages().div_ceil(self.entries_per_tp() as u64)
+    }
+
+    /// Size of the global translation directory in bytes (4 B per
+    /// translation page), always resident in the cache.
+    pub fn gtd_bytes(&self) -> usize {
+        (self.num_vtpns() * 4) as usize
+    }
+
+    /// Size of a block-level FTL's mapping table (4 B per 256 KB logical
+    /// block); the paper's cache-sizing reference.
+    pub fn block_table_bytes(&self) -> usize {
+        ((self.logical_bytes / (256 * 1024)) * 4) as usize
+    }
+
+    /// The paper's default cache budget: block-level table + GTD.
+    pub fn paper_cache_bytes(&self) -> usize {
+        self.block_table_bytes() + self.gtd_bytes()
+    }
+
+    /// Size of the full page-level mapping table at 8 B per entry, the
+    /// normalization base of Figures 8(c), 9 and 10.
+    pub fn full_table_bytes(&self) -> usize {
+        (self.logical_pages() * 8) as usize
+    }
+
+    /// Cache budget for a Figure 9-style sweep point: `frac` of the full
+    /// table (entries at 8 B) plus the always-resident GTD.
+    pub fn with_cache_fraction(mut self, frac: f64) -> Self {
+        assert!(frac > 0.0 && frac <= 1.0, "cache fraction out of range");
+        self.cache_bytes = ((self.full_table_bytes() as f64) * frac) as usize + self.gtd_bytes();
+        self
+    }
+
+    /// Budget available to the FTL's own structures (total minus GTD).
+    pub fn usable_cache_bytes(&self) -> usize {
+        self.cache_bytes.saturating_sub(self.gtd_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cache_sizes_match_section_5_1() {
+        let fin = SsdConfig::paper_default(512 << 20);
+        assert_eq!(fin.block_table_bytes(), 8 * 1024);
+        assert_eq!(fin.gtd_bytes(), 512);
+        assert_eq!(fin.cache_bytes, 8704);
+        assert_eq!(fin.num_vtpns(), 128);
+
+        let msr = SsdConfig::paper_default(16 << 30);
+        assert_eq!(msr.block_table_bytes(), 256 * 1024);
+        assert_eq!(msr.gtd_bytes(), 16 * 1024);
+        assert_eq!(msr.cache_bytes, 272 * 1024);
+        assert_eq!(msr.num_vtpns(), 4096);
+    }
+
+    #[test]
+    fn cache_fraction_sweep() {
+        let cfg = SsdConfig::paper_default(512 << 20);
+        // Full table: 131072 pages * 8 B = 1 MB.
+        assert_eq!(cfg.full_table_bytes(), 1 << 20);
+        let c = cfg.clone().with_cache_fraction(1.0 / 128.0);
+        // 1/128 of the table is exactly the paper's 8 KB block-level size.
+        assert_eq!(c.cache_bytes, 8 * 1024 + 512);
+        let full = cfg.with_cache_fraction(1.0);
+        assert_eq!(full.usable_cache_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn usable_excludes_gtd() {
+        let cfg = SsdConfig::paper_default(512 << 20);
+        assert_eq!(cfg.usable_cache_bytes(), 8 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "cache fraction")]
+    fn zero_fraction_panics() {
+        let _ = SsdConfig::paper_default(512 << 20).with_cache_fraction(0.0);
+    }
+}

@@ -1,0 +1,449 @@
+//! The SSD environment every FTL runs against.
+//!
+//! [`SsdEnv`] bundles the flash device, the block manager, the global
+//! translation directory and the statistics counters, and exposes the only
+//! operations an FTL may perform: data-page I/O, translation-page reads,
+//! and the two translation-page write flavours the paper distinguishes —
+//! the read-modify-write partial update (`T_fr + T_fw`, DFTL/TPFTL dirty
+//! writebacks) and the full-page overwrite (`T_fw` only, the S-FTL case
+//! noted under Equation 1).
+
+use serde::{Deserialize, Serialize};
+use tpftl_flash::{Flash, Lpn, OpPurpose, Ppn, Vtpn, PPN_NONE};
+
+use crate::blockmgr::{AllocClass, BlockManager};
+use crate::gtd::Gtd;
+use crate::{FtlError, FtlStats, Result, SsdConfig};
+
+/// Garbage-collection aggregates needed by the paper's models
+/// (`N_gcd`, `V_d`, `N_gct`, `V_t`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GcStats {
+    /// Data-block victims collected (`N_gcd`).
+    pub data_victims: u64,
+    /// Valid data pages migrated (`N_md`).
+    pub data_pages_migrated: u64,
+    /// Translation-block victims collected (`N_gct`).
+    pub trans_victims: u64,
+    /// Valid translation pages migrated (`N_mt`).
+    pub trans_pages_migrated: u64,
+}
+
+impl GcStats {
+    /// Mean valid pages per collected data block (`V_d`).
+    pub fn vd_mean(&self) -> f64 {
+        if self.data_victims == 0 {
+            0.0
+        } else {
+            self.data_pages_migrated as f64 / self.data_victims as f64
+        }
+    }
+
+    /// Mean valid pages per collected translation block (`V_t`).
+    pub fn vt_mean(&self) -> f64 {
+        if self.trans_victims == 0 {
+            0.0
+        } else {
+            self.trans_pages_migrated as f64 / self.trans_victims as f64
+        }
+    }
+}
+
+/// Flash device + block manager + GTD + counters.
+pub struct SsdEnv {
+    config: SsdConfig,
+    pub(crate) flash: Flash,
+    pub(crate) blocks: BlockManager,
+    pub(crate) gtd: Gtd,
+    /// Cache-level counters; FTLs update them via the `note_*` helpers.
+    pub stats: FtlStats,
+    /// GC aggregates, updated by [`crate::gc`].
+    pub gc_stats: GcStats,
+    entries_per_tp: usize,
+}
+
+impl SsdEnv {
+    /// Creates a fully erased SSD per `config`.
+    pub fn new(config: SsdConfig) -> Result<Self> {
+        let geom = config.geometry();
+        let flash = Flash::new(geom.clone())?;
+        let blocks = BlockManager::new(geom.num_blocks, geom.pages_per_block);
+        let gtd = Gtd::new(config.num_vtpns() as usize);
+        Ok(Self {
+            entries_per_tp: config.entries_per_tp(),
+            config,
+            flash,
+            blocks,
+            gtd,
+            stats: FtlStats::default(),
+            gc_stats: GcStats::default(),
+        })
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.config
+    }
+
+    /// Read-only access to the flash device (stats, scanning oracles).
+    pub fn flash(&self) -> &Flash {
+        &self.flash
+    }
+
+    /// Read-only access to the translation directory.
+    pub fn gtd(&self) -> &Gtd {
+        &self.gtd
+    }
+
+    /// Mapping entries per translation page.
+    pub fn entries_per_tp(&self) -> usize {
+        self.entries_per_tp
+    }
+
+    /// Translation page holding `lpn`'s entry.
+    #[inline]
+    pub fn vtpn_of(&self, lpn: Lpn) -> Vtpn {
+        lpn / self.entries_per_tp as u32
+    }
+
+    /// Offset of `lpn`'s entry within its translation page.
+    #[inline]
+    pub fn offset_of(&self, lpn: Lpn) -> u16 {
+        (lpn as usize % self.entries_per_tp) as u16
+    }
+
+    /// Number of free blocks remaining.
+    pub fn free_blocks(&self) -> usize {
+        self.blocks.free_blocks()
+    }
+
+    /// Whether free space has dropped below the GC trigger.
+    pub fn needs_gc(&self) -> bool {
+        self.free_blocks() < self.config.gc_low_blocks
+    }
+
+    /// Highest per-block erase count reached so far (lifetime limiter).
+    pub fn max_wear(&self) -> u64 {
+        self.blocks.max_wear()
+    }
+
+    /// Validates that `lpn` is inside the exported logical space.
+    pub fn check_lpn(&self, lpn: Lpn) -> Result<()> {
+        if (lpn as u64) < self.config.logical_pages() {
+            Ok(())
+        } else {
+            Err(FtlError::OutOfLogicalSpace {
+                lpn,
+                logical_pages: self.config.logical_pages(),
+            })
+        }
+    }
+
+    // ---- Statistics helpers -------------------------------------------------
+
+    /// Records an address-translation lookup.
+    #[inline]
+    pub fn note_lookup(&mut self, hit: bool) {
+        self.stats.lookups += 1;
+        if hit {
+            self.stats.hits += 1;
+        }
+    }
+
+    /// Records a mapping-cache replacement (`P_rd` bookkeeping).
+    #[inline]
+    pub fn note_replacement(&mut self, dirty: bool) {
+        self.stats.replacements += 1;
+        if dirty {
+            self.stats.dirty_replacements += 1;
+        }
+    }
+
+    // ---- Data-page operations ----------------------------------------------
+
+    /// Allocates and programs a data page for `lpn`; returns its PPN.
+    pub fn program_data_page(&mut self, lpn: Lpn, purpose: OpPurpose) -> Result<Ppn> {
+        let ppn = self.blocks.alloc_page(AllocClass::Data, &self.flash)?;
+        self.flash.program_page(ppn, lpn, purpose)?;
+        Ok(ppn)
+    }
+
+    /// Reads the data page at `ppn`, verifying it still belongs to `lpn` —
+    /// a mismatch means the FTL's mapping is corrupt and is surfaced as a
+    /// flash error rather than masked.
+    pub fn read_data_page(&mut self, ppn: Ppn, lpn: Lpn) -> Result<()> {
+        let info = self.flash.read_page(ppn, OpPurpose::HostData)?;
+        if info.tag != lpn {
+            // The strongest invariant the simulator checks: a resolved
+            // mapping must point at the page that physically holds the LPN.
+            panic!(
+                "mapping corruption: LPN {lpn} resolved to PPN {ppn} which holds tag {}",
+                info.tag
+            );
+        }
+        Ok(())
+    }
+
+    /// Invalidates a superseded page and re-indexes its block for GC.
+    pub fn invalidate_page(&mut self, ppn: Ppn) -> Result<()> {
+        self.flash.invalidate(ppn)?;
+        let block = self.flash.geometry().block_of(ppn);
+        let valid = self.flash.valid_pages_in(block)?;
+        self.blocks.on_invalidated(block, valid);
+        Ok(())
+    }
+
+    // ---- Translation-page operations ----------------------------------------
+
+    /// Reads the full mapping payload of translation page `vtpn`,
+    /// accounting one page read of `purpose`. If the page has never been
+    /// written (possible only before [`SsdEnv::format`]), returns an
+    /// all-unmapped payload without flash traffic.
+    pub fn read_translation_entries(&mut self, vtpn: Vtpn, purpose: OpPurpose) -> Result<Vec<Ppn>> {
+        match self.gtd.get(vtpn) {
+            Some(ppn) => Ok(self.flash.read_translation_payload(ppn, purpose)?.to_vec()),
+            None => Ok(vec![PPN_NONE; self.entries_per_tp]),
+        }
+    }
+
+    /// Partial translation-page update: read-modify-write, costing
+    /// `T_fr + T_fw` (plus the first-write case with no prior page). This
+    /// is the writeback path of DFTL/TPFTL dirty entries and of GC misses.
+    pub fn update_translation_page(
+        &mut self,
+        vtpn: Vtpn,
+        updates: &[(u16, Ppn)],
+        purpose: OpPurpose,
+    ) -> Result<()> {
+        let mut payload = match self.gtd.get(vtpn) {
+            Some(old) => {
+                let p = self.flash.read_translation_payload(old, purpose)?.to_vec();
+                self.invalidate_page(old)?;
+                p
+            }
+            None => vec![PPN_NONE; self.entries_per_tp],
+        };
+        for &(off, ppn) in updates {
+            payload[off as usize] = ppn;
+        }
+        self.program_translation(vtpn, payload.into_boxed_slice(), purpose)
+    }
+
+    /// Full translation-page overwrite from a cached copy: costs `T_fw`
+    /// only (no read), the S-FTL/CDFTL victim-writeback case noted under
+    /// Equation 1.
+    pub fn write_translation_page_full(
+        &mut self,
+        vtpn: Vtpn,
+        payload: Vec<Ppn>,
+        purpose: OpPurpose,
+    ) -> Result<()> {
+        if let Some(old) = self.gtd.get(vtpn) {
+            self.invalidate_page(old)?;
+        }
+        self.program_translation(vtpn, payload.into_boxed_slice(), purpose)
+    }
+
+    fn program_translation(
+        &mut self,
+        vtpn: Vtpn,
+        payload: Box<[Ppn]>,
+        purpose: OpPurpose,
+    ) -> Result<()> {
+        let ppn = self
+            .blocks
+            .alloc_page(AllocClass::Translation, &self.flash)?;
+        self.flash
+            .program_translation_page(ppn, vtpn, payload, purpose)?;
+        self.gtd.set(vtpn, ppn);
+        Ok(())
+    }
+
+    // ---- Bootstrap ----------------------------------------------------------
+
+    /// Reconstructs an environment around an existing flash device at
+    /// mount time (see [`crate::recovery::mount`]): block bookkeeping is
+    /// rebuilt by scanning the device, statistics start from zero.
+    pub fn remount(config: SsdConfig, flash: Flash, gtd: crate::gtd::Gtd) -> Result<Self> {
+        let blocks = crate::blockmgr::BlockManager::rebuild(&flash)?;
+        Ok(Self {
+            entries_per_tp: config.entries_per_tp(),
+            config,
+            flash,
+            blocks,
+            gtd,
+            stats: FtlStats::default(),
+            gc_stats: GcStats::default(),
+        })
+    }
+
+    /// Consumes the environment and returns the flash device, as a power
+    /// cycle does (all RAM state is dropped).
+    pub fn into_flash(self) -> Flash {
+        self.flash
+    }
+
+    /// Writes every not-yet-present translation page (all-unmapped), so the
+    /// mapping table fully exists on flash before the measured run, as in a
+    /// formatted device.
+    pub fn format(&mut self) -> Result<()> {
+        for vtpn in 0..self.gtd.len() as Vtpn {
+            if self.gtd.get(vtpn).is_none() {
+                let payload = vec![PPN_NONE; self.entries_per_tp];
+                self.write_translation_page_full(vtpn, payload, OpPurpose::Translation)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sequentially writes the first `frac` of the logical space, creating
+    /// data pages and their translation pages, so the measured run starts
+    /// from a used device ("the SSD is in full use", Section 3.1). Call
+    /// before [`SsdEnv::format`] and follow with [`SsdEnv::reset_stats`].
+    pub fn prefill(&mut self, frac: f64) -> Result<()> {
+        assert!((0.0..=1.0).contains(&frac), "prefill fraction out of range");
+        let pages = (self.config.logical_pages() as f64 * frac) as u64;
+        let mut lpn: Lpn = 0;
+        while (lpn as u64) < pages {
+            let vtpn = self.vtpn_of(lpn);
+            let mut payload = vec![PPN_NONE; self.entries_per_tp];
+            let chunk_end = (((vtpn as u64) + 1) * self.entries_per_tp as u64).min(pages) as Lpn;
+            while lpn < chunk_end {
+                let ppn = self.program_data_page(lpn, OpPurpose::HostData)?;
+                payload[self.offset_of(lpn) as usize] = ppn;
+                lpn += 1;
+            }
+            self.write_translation_page_full(vtpn, payload, OpPurpose::Translation)?;
+        }
+        Ok(())
+    }
+
+    /// Clears every measurement counter (flash ops, cache counters, GC
+    /// aggregates); device state is untouched.
+    pub fn reset_stats(&mut self) {
+        self.flash.reset_stats();
+        self.stats = FtlStats::default();
+        self.gc_stats = GcStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SsdConfig {
+        // 4 MB logical space: 1024 pages, 1 translation page.
+        SsdConfig::paper_default(4 << 20)
+    }
+
+    #[test]
+    fn lpn_to_vtpn_mapping() {
+        let env = SsdEnv::new(tiny_config()).unwrap();
+        assert_eq!(env.vtpn_of(0), 0);
+        assert_eq!(env.vtpn_of(1023), 0);
+        assert_eq!(env.offset_of(1023), 1023);
+        assert_eq!(env.offset_of(5), 5);
+    }
+
+    #[test]
+    fn format_creates_all_translation_pages() {
+        let mut env = SsdEnv::new(tiny_config()).unwrap();
+        env.format().unwrap();
+        assert_eq!(env.gtd().iter_present().count(), 1);
+        // A second format is a no-op.
+        let writes = env.flash().stats().total_writes();
+        env.format().unwrap();
+        assert_eq!(env.flash().stats().total_writes(), writes);
+    }
+
+    #[test]
+    fn update_translation_page_rmw() {
+        let mut env = SsdEnv::new(tiny_config()).unwrap();
+        env.format().unwrap();
+        env.reset_stats();
+        env.update_translation_page(0, &[(5, 1234)], OpPurpose::Translation)
+            .unwrap();
+        // Read-modify-write: one read + one write.
+        assert_eq!(env.flash().stats().translation_reads(), 1);
+        assert_eq!(env.flash().stats().translation_writes(), 1);
+        let entries = env
+            .read_translation_entries(0, OpPurpose::Translation)
+            .unwrap();
+        assert_eq!(entries[5], 1234);
+        assert_eq!(entries[6], PPN_NONE);
+    }
+
+    #[test]
+    fn full_write_skips_read() {
+        let mut env = SsdEnv::new(tiny_config()).unwrap();
+        env.format().unwrap();
+        env.reset_stats();
+        let mut payload = vec![PPN_NONE; env.entries_per_tp()];
+        payload[0] = 77;
+        env.write_translation_page_full(0, payload, OpPurpose::Translation)
+            .unwrap();
+        assert_eq!(env.flash().stats().translation_reads(), 0);
+        assert_eq!(env.flash().stats().translation_writes(), 1);
+        assert_eq!(
+            env.read_translation_entries(0, OpPurpose::Translation)
+                .unwrap()[0],
+            77
+        );
+    }
+
+    #[test]
+    fn data_page_roundtrip_and_invalidation() {
+        let mut env = SsdEnv::new(tiny_config()).unwrap();
+        let p1 = env.program_data_page(9, OpPurpose::HostData).unwrap();
+        env.read_data_page(p1, 9).unwrap();
+        let p2 = env.program_data_page(9, OpPurpose::HostData).unwrap();
+        env.invalidate_page(p1).unwrap();
+        env.read_data_page(p2, 9).unwrap();
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mapping corruption")]
+    fn wrong_lpn_read_panics() {
+        let mut env = SsdEnv::new(tiny_config()).unwrap();
+        let p = env.program_data_page(1, OpPurpose::HostData).unwrap();
+        let _ = env.read_data_page(p, 2);
+    }
+
+    #[test]
+    fn prefill_maps_requested_fraction() {
+        let mut env = SsdEnv::new(tiny_config()).unwrap();
+        env.prefill(0.5).unwrap();
+        env.format().unwrap();
+        let entries = env
+            .read_translation_entries(0, OpPurpose::Translation)
+            .unwrap();
+        let mapped = entries.iter().filter(|&&p| p != PPN_NONE).count();
+        assert_eq!(mapped, 512);
+        // Every mapped entry resolves to a valid page holding that LPN.
+        for (lpn, &ppn) in entries.iter().enumerate().take(512) {
+            env.read_data_page(ppn, lpn as Lpn).unwrap();
+        }
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut env = SsdEnv::new(tiny_config()).unwrap();
+        env.format().unwrap();
+        env.note_lookup(true);
+        env.note_replacement(true);
+        env.reset_stats();
+        assert_eq!(env.stats, FtlStats::default());
+        assert_eq!(env.flash().stats().total_writes(), 0);
+    }
+
+    #[test]
+    fn check_lpn_bounds() {
+        let env = SsdEnv::new(tiny_config()).unwrap();
+        assert!(env.check_lpn(1023).is_ok());
+        assert!(matches!(
+            env.check_lpn(1024),
+            Err(FtlError::OutOfLogicalSpace { lpn: 1024, .. })
+        ));
+    }
+}

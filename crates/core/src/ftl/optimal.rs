@@ -1,0 +1,195 @@
+//! The optimal page-level FTL: entire mapping table in RAM.
+//!
+//! "The optimal FTL, employing a page-level mapping with the entire mapping
+//! table cached, has minimal overhead that any FTL can possibly have"
+//! (Section 5.1). It performs no translation-page flash traffic at all;
+//! every lookup and every GC mapping update is a cache hit.
+
+use tpftl_flash::{Lpn, Ppn};
+
+use crate::env::SsdEnv;
+use crate::ftl::{AccessCtx, Ftl, TpDistEntry};
+use crate::{Result, SsdConfig};
+
+/// Page-level FTL with a fully RAM-resident mapping table.
+pub struct OptimalFtl {
+    table: Vec<Option<Ppn>>,
+    entries_per_tp: usize,
+}
+
+impl OptimalFtl {
+    /// Creates the FTL for a device of `config`'s logical size.
+    pub fn new(config: &SsdConfig) -> Self {
+        Self {
+            table: vec![None; config.logical_pages() as usize],
+            entries_per_tp: config.entries_per_tp(),
+        }
+    }
+}
+
+impl Ftl for OptimalFtl {
+    fn name(&self) -> String {
+        "Optimal".to_string()
+    }
+
+    fn translate(&mut self, env: &mut SsdEnv, lpn: Lpn, _ctx: &AccessCtx) -> Result<Option<Ppn>> {
+        env.note_lookup(true);
+        Ok(self.table[lpn as usize])
+    }
+
+    fn update_mapping(&mut self, _env: &mut SsdEnv, lpn: Lpn, new_ppn: Ppn) -> Result<()> {
+        self.table[lpn as usize] = Some(new_ppn);
+        Ok(())
+    }
+
+    fn on_gc_data_block(&mut self, _env: &mut SsdEnv, moved: &[(Lpn, Ppn)]) -> Result<u64> {
+        for &(lpn, new_ppn) in moved {
+            self.table[lpn as usize] = Some(new_ppn);
+        }
+        Ok(moved.len() as u64)
+    }
+
+    fn uses_translation_pages(&self) -> bool {
+        false
+    }
+
+    fn after_bootstrap(&mut self, env: &mut SsdEnv) -> Result<()> {
+        // Rebuild the table from the physically valid data pages.
+        for (ppn, lpn, is_translation) in env.flash().scan_valid() {
+            if !is_translation {
+                self.table[lpn as usize] = Some(ppn);
+            }
+        }
+        Ok(())
+    }
+
+    fn cache_bytes_used(&self) -> usize {
+        // 8 B per entry, the paper's full-table accounting.
+        self.table.len() * 8
+    }
+
+    fn cached_entries(&self) -> usize {
+        self.table.iter().filter(|e| e.is_some()).count()
+    }
+
+    fn cached_tp_distribution(&self) -> Vec<TpDistEntry> {
+        let mut out: Vec<TpDistEntry> = Vec::new();
+        for (lpn, e) in self.table.iter().enumerate() {
+            if e.is_some() {
+                let vtpn = (lpn / self.entries_per_tp) as u32;
+                match out.last_mut() {
+                    Some(last) if last.vtpn == vtpn => last.entries += 1,
+                    _ => out.push(TpDistEntry {
+                        vtpn,
+                        entries: 1,
+                        dirty: 0,
+                    }),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver;
+
+    fn setup() -> (OptimalFtl, SsdEnv) {
+        let config = SsdConfig::paper_default(4 << 20);
+        let mut env = SsdEnv::new(config.clone()).unwrap();
+        let mut ftl = OptimalFtl::new(&config);
+        driver::bootstrap(&mut ftl, &mut env).unwrap();
+        (ftl, env)
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let (mut ftl, mut env) = setup();
+        driver::serve_request(&mut ftl, &mut env, 10, 3, true).unwrap();
+        driver::serve_request(&mut ftl, &mut env, 10, 3, false).unwrap();
+        assert_eq!(env.stats.user_page_writes, 3);
+        assert_eq!(env.stats.user_page_reads, 3);
+        assert_eq!(env.stats.hit_ratio(), 1.0);
+        // No translation traffic ever.
+        assert_eq!(env.flash().stats().translation_reads(), 0);
+        assert_eq!(env.flash().stats().translation_writes(), 0);
+    }
+
+    #[test]
+    fn overwrite_invalidates_previous() {
+        let (mut ftl, mut env) = setup();
+        driver::serve_page_access(&mut ftl, &mut env, 5, AccessCtx::single(true)).unwrap();
+        let first = ftl.table[5].unwrap();
+        driver::serve_page_access(&mut ftl, &mut env, 5, AccessCtx::single(true)).unwrap();
+        let second = ftl.table[5].unwrap();
+        assert_ne!(first, second);
+        // Exactly one valid data page holds LPN 5.
+        let live: Vec<_> = env
+            .flash()
+            .scan_valid()
+            .filter(|&(_, tag, t)| !t && tag == 5)
+            .collect();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].0, second);
+    }
+
+    #[test]
+    fn read_of_unwritten_page_is_noop() {
+        let (mut ftl, mut env) = setup();
+        driver::serve_page_access(&mut ftl, &mut env, 900, AccessCtx::single(false)).unwrap();
+        assert_eq!(env.flash().stats().total_reads(), 0);
+    }
+
+    #[test]
+    fn bootstrap_with_prefill_rebuilds_table() {
+        let mut config = SsdConfig::paper_default(4 << 20);
+        config.prefill_frac = 0.5;
+        let mut env = SsdEnv::new(config.clone()).unwrap();
+        let mut ftl = OptimalFtl::new(&config);
+        driver::bootstrap(&mut ftl, &mut env).unwrap();
+        assert_eq!(ftl.cached_entries(), 512);
+        // Reading a prefilled page touches flash exactly once.
+        driver::serve_page_access(&mut ftl, &mut env, 0, AccessCtx::single(false)).unwrap();
+        assert_eq!(env.flash().stats().total_reads(), 1);
+    }
+
+    #[test]
+    fn distribution_groups_by_tp() {
+        let config = SsdConfig::paper_default(8 << 20); // 2 translation pages
+        let mut env = SsdEnv::new(config.clone()).unwrap();
+        let mut ftl = OptimalFtl::new(&config);
+        driver::bootstrap(&mut ftl, &mut env).unwrap();
+        driver::serve_page_access(&mut ftl, &mut env, 0, AccessCtx::single(true)).unwrap();
+        driver::serve_page_access(&mut ftl, &mut env, 1, AccessCtx::single(true)).unwrap();
+        driver::serve_page_access(&mut ftl, &mut env, 1500, AccessCtx::single(true)).unwrap();
+        let d = ftl.cached_tp_distribution();
+        assert_eq!(d.len(), 2);
+        assert_eq!((d[0].vtpn, d[0].entries), (0, 2));
+        assert_eq!((d[1].vtpn, d[1].entries), (1, 1));
+    }
+
+    /// GC under sustained overwrites keeps the table consistent.
+    #[test]
+    fn gc_pressure_consistency() {
+        let (mut ftl, mut env) = setup();
+        // 4 MB logical = 1024 pages; physical = 1024*1.15. Overwrite a hot
+        // set until GC must have run several times.
+        for round in 0..30 {
+            for lpn in 0..256u32 {
+                driver::serve_page_access(&mut ftl, &mut env, lpn, AccessCtx::single(true))
+                    .unwrap();
+            }
+            let _ = round;
+        }
+        assert!(env.flash().stats().total_erases() > 0, "GC never ran");
+        // Every mapping resolves to the valid page holding that LPN.
+        for lpn in 0..256u32 {
+            let ppn = ftl.table[lpn as usize].unwrap();
+            env.read_data_page(ppn, lpn).unwrap();
+        }
+        // GC updates were all hits.
+        assert_eq!(env.stats.gc_updates, env.stats.gc_hits);
+    }
+}

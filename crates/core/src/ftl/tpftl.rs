@@ -1,0 +1,929 @@
+//! TPFTL — the paper's contribution (Section 4).
+//!
+//! The mapping cache is organized as **two-level LRU lists**: a page-level
+//! structure of *TP nodes* (one per translation page with cached entries),
+//! each holding an entry-level LRU list of its cached mapping entries. The
+//! position of a TP node is decided by its *page-level hotness*, defined as
+//! the average hotness (last-access stamp) of its entry nodes; we maintain
+//! the order in a balanced tree keyed by that average, so victim selection
+//! (the coldest node) and repositioning are `O(log n)`.
+//!
+//! Four independently switchable techniques (the Figure 7/8 ablations):
+//!
+//! * `r` — **request-level prefetching** (Section 4.3): on the first miss of
+//!   a multi-page request, load all the request's entries instead of one,
+//!   so a request causes at most one miss per translation page it spans.
+//! * `s` — **selective prefetching** (Section 4.3): a counter tracks the
+//!   number change of TP nodes (+1 on load, −1 on eviction); when it falls
+//!   by the threshold, sequential accesses are assumed and each miss also
+//!   prefetches as many successors as the requested entry has cached
+//!   consecutive predecessors in its translation page.
+//! * `b` — **batch-update replacement** (Section 4.4): when a dirty entry
+//!   is evicted, *all* dirty entries of its TP node are written back in the
+//!   same translation-page update; only the victim leaves the cache, the
+//!   rest stay clean. The same batching is applied when a GC miss updates a
+//!   cached translation page.
+//! * `c` — **clean-first replacement** (Section 4.4): the victim is the LRU
+//!   *clean* entry of the LRU TP node; only if none exists is the LRU dirty
+//!   entry chosen.
+//!
+//! Prefetching is bounded by the two rules of Section 4.5: it never crosses
+//! the translation-page boundary, and the replacement it forces stays
+//! within the single LRU TP node (the prefetch length is reduced
+//! otherwise), so one address translation performs at most one translation
+//! page read and at most one update.
+//!
+//! Cached entries are stored compressed (Section 4.1): the LPN is implied
+//! by the node's VTPN plus a 10-bit in-page offset, so an entry costs 6
+//! bytes against DFTL's 8 (the Figure 10 space-utilization gain); a TP node
+//! costs 8 bytes of overhead.
+
+use std::collections::{BTreeSet, HashMap};
+
+use tpftl_flash::{Lpn, OpPurpose, Ppn, Vtpn, PPN_NONE};
+
+use crate::env::SsdEnv;
+use crate::ftl::{group_by_vtpn, AccessCtx, Ftl, TpDistEntry};
+use crate::lru::{LruIdx, LruList};
+use crate::{FtlError, Result, SsdConfig};
+
+/// Bytes per cached entry node: 10-bit offset + 4 B PPN + flags, packed
+/// into 6 B (Section 4.1's compression argument).
+pub const ENTRY_BYTES: usize = 6;
+
+/// Bytes of overhead per TP node (VTPN + list heads), "only a small
+/// percentage" per Section 4.1.
+pub const NODE_BYTES: usize = 8;
+
+/// Which TPFTL techniques are enabled; the Figure 7/8 ablation knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpftlConfig {
+    /// `r`: request-level prefetching.
+    pub request_prefetch: bool,
+    /// `s`: selective prefetching.
+    pub selective_prefetch: bool,
+    /// `b`: batch-update replacement.
+    pub batch_update: bool,
+    /// `c`: clean-first replacement.
+    pub clean_first: bool,
+    /// Selective-prefetch activation threshold (the paper found 3 works
+    /// well empirically; Section 4.3).
+    pub counter_threshold: i32,
+}
+
+impl TpftlConfig {
+    /// The complete TPFTL (`rsbc`).
+    pub fn full() -> Self {
+        Self {
+            request_prefetch: true,
+            selective_prefetch: true,
+            batch_update: true,
+            clean_first: true,
+            counter_threshold: 3,
+        }
+    }
+
+    /// The bare two-level-LRU variant (`–` in Figures 7/8).
+    pub fn baseline() -> Self {
+        Self {
+            request_prefetch: false,
+            selective_prefetch: false,
+            batch_update: false,
+            clean_first: false,
+            counter_threshold: 3,
+        }
+    }
+
+    /// Builds a configuration from the paper's monogram (`"rsbc"`, `"b"`,
+    /// `"rs"`, ..., `""` for the bare variant).
+    ///
+    /// # Panics
+    ///
+    /// Panics on letters outside `r`, `s`, `b`, `c`.
+    pub fn from_flags(flags: &str) -> Self {
+        let mut cfg = Self::baseline();
+        for ch in flags.chars() {
+            match ch {
+                'r' => cfg.request_prefetch = true,
+                's' => cfg.selective_prefetch = true,
+                'b' => cfg.batch_update = true,
+                'c' => cfg.clean_first = true,
+                other => panic!("unknown TPFTL flag {other:?}"),
+            }
+        }
+        cfg
+    }
+
+    /// The monogram describing this configuration (`"–"` if none).
+    pub fn flags(&self) -> String {
+        let mut s = String::new();
+        if self.request_prefetch {
+            s.push('r');
+        }
+        if self.selective_prefetch {
+            s.push('s');
+        }
+        if self.batch_update {
+            s.push('b');
+        }
+        if self.clean_first {
+            s.push('c');
+        }
+        if s.is_empty() {
+            s.push('–');
+        }
+        s
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EntryNode {
+    offset: u16,
+    /// `PPN_NONE` caches "not mapped yet".
+    ppn: Ppn,
+    dirty: bool,
+    /// Last-access stamp; feeds the node's page-level hotness.
+    stamp: u64,
+}
+
+struct TpNode {
+    /// Entry-level LRU list (MRU = hottest entry).
+    entries: LruList<EntryNode>,
+    by_offset: HashMap<u16, LruIdx>,
+    /// Sum of entry stamps; hotness = sum / len.
+    stamp_sum: u64,
+    dirty_count: u32,
+    /// Current key in the page-level order ((hotness, vtpn)).
+    hot_key: u64,
+}
+
+impl TpNode {
+    fn new() -> Self {
+        Self {
+            entries: LruList::new(),
+            by_offset: HashMap::new(),
+            stamp_sum: 0,
+            dirty_count: 0,
+            hot_key: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn hotness(&self) -> u64 {
+        if self.entries.is_empty() {
+            0
+        } else {
+            self.stamp_sum / self.entries.len() as u64
+        }
+    }
+}
+
+/// The TPFTL flash translation layer.
+pub struct TpFtl {
+    cfg: TpftlConfig,
+    budget_bytes: usize,
+    nodes: HashMap<Vtpn, TpNode>,
+    /// Page-level order: coldest node first, keyed by (hotness, vtpn).
+    order: BTreeSet<(u64, Vtpn)>,
+    bytes_used: usize,
+    /// Global access clock driving entry stamps.
+    clock: u64,
+    /// The Section 4.3 counter: +1 per TP-node load, −1 per eviction.
+    counter: i32,
+    selective_active: bool,
+}
+
+impl TpFtl {
+    /// Creates a TPFTL with the given technique set, sized to the config's
+    /// usable cache budget.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::CacheTooSmall`] if a node plus one entry does not fit.
+    pub fn new(config: &SsdConfig, cfg: TpftlConfig) -> Result<Self> {
+        let budget_bytes = config.usable_cache_bytes();
+        if budget_bytes < NODE_BYTES + ENTRY_BYTES {
+            return Err(FtlError::CacheTooSmall);
+        }
+        Ok(Self {
+            cfg,
+            budget_bytes,
+            nodes: HashMap::new(),
+            order: BTreeSet::new(),
+            bytes_used: 0,
+            clock: 0,
+            counter: 0,
+            selective_active: false,
+        })
+    }
+
+    /// Whether selective prefetching is currently active (test hook).
+    pub fn selective_active(&self) -> bool {
+        self.selective_active
+    }
+
+    /// The configured technique set.
+    pub fn config(&self) -> &TpftlConfig {
+        &self.cfg
+    }
+
+    // ---- Page-level order maintenance ---------------------------------------
+
+    fn reposition(order: &mut BTreeSet<(u64, Vtpn)>, vtpn: Vtpn, node: &mut TpNode) {
+        order.remove(&(node.hot_key, vtpn));
+        node.hot_key = node.hotness();
+        order.insert((node.hot_key, vtpn));
+    }
+
+    fn on_node_created(&mut self) {
+        self.counter += 1;
+        if self.counter >= self.cfg.counter_threshold {
+            self.selective_active = false;
+            self.counter = 0;
+        }
+    }
+
+    fn on_node_removed(&mut self) {
+        self.counter -= 1;
+        if self.counter <= -self.cfg.counter_threshold {
+            self.selective_active = true;
+            self.counter = 0;
+        }
+    }
+
+    // ---- Entry plumbing ------------------------------------------------------
+
+    /// Touches an existing entry: MRU move, stamp refresh, node reposition.
+    fn touch_entry(&mut self, vtpn: Vtpn, offset: u16) {
+        let node = self.nodes.get_mut(&vtpn).expect("touch on cached node");
+        let idx = *node.by_offset.get(&offset).expect("touch on cached entry");
+        node.entries.touch(idx);
+        let e = node.entries.get_mut(idx).expect("valid handle");
+        node.stamp_sum -= e.stamp;
+        e.stamp = self.clock;
+        node.stamp_sum += self.clock;
+        Self::reposition(&mut self.order, vtpn, node);
+    }
+
+    fn cached_ppn(&self, vtpn: Vtpn, offset: u16) -> Option<Ppn> {
+        let node = self.nodes.get(&vtpn)?;
+        let idx = *node.by_offset.get(&offset)?;
+        Some(node.entries.get(idx).expect("valid handle").ppn)
+    }
+
+    /// Number of consecutive cached predecessors of `offset` in `vtpn`
+    /// (the selective-prefetch length rule, Section 4.3).
+    fn cached_predecessors(&self, vtpn: Vtpn, offset: u16) -> usize {
+        let Some(node) = self.nodes.get(&vtpn) else {
+            return 0;
+        };
+        let mut n = 0;
+        let mut off = offset;
+        while off > 0 && node.by_offset.contains_key(&(off - 1)) {
+            n += 1;
+            off -= 1;
+        }
+        n
+    }
+
+    /// Inserts a fresh entry (assumes capacity has been made).
+    fn insert_entry(&mut self, vtpn: Vtpn, offset: u16, ppn: Ppn) {
+        let created = !self.nodes.contains_key(&vtpn);
+        if created {
+            self.bytes_used += NODE_BYTES;
+            let node = TpNode::new();
+            self.order.insert((node.hot_key, vtpn));
+            self.nodes.insert(vtpn, node);
+        }
+        let node = self.nodes.get_mut(&vtpn).expect("present or just created");
+        debug_assert!(!node.by_offset.contains_key(&offset), "double insert");
+        let idx = node.entries.push_mru(EntryNode {
+            offset,
+            ppn,
+            dirty: false,
+            stamp: self.clock,
+        });
+        node.by_offset.insert(offset, idx);
+        node.stamp_sum += self.clock;
+        self.bytes_used += ENTRY_BYTES;
+        Self::reposition(&mut self.order, vtpn, node);
+        if created {
+            self.on_node_created();
+        }
+    }
+
+    /// Picks the victim entry inside `node` per the replacement policy:
+    /// LRU clean entry when clean-first is on, else the LRU entry.
+    fn pick_victim_in(&self, vtpn: Vtpn) -> (LruIdx, EntryNode) {
+        let node = &self.nodes[&vtpn];
+        if self.cfg.clean_first {
+            if let Some((idx, e)) = node
+                .entries
+                .iter_lru()
+                .find(|(_, e)| !e.dirty)
+                .map(|(i, e)| (i, *e))
+            {
+                return (idx, e);
+            }
+        }
+        let (idx, e) = node.entries.peek_lru().expect("nodes are never empty");
+        (idx, *e)
+    }
+
+    /// Evicts one entry from the coldest TP node, handling writeback and
+    /// batch-update; returns the bytes freed.
+    fn evict_one(&mut self, env: &mut SsdEnv) -> Result<usize> {
+        let &(_, vtpn) = self.order.iter().next().expect("eviction from empty cache");
+        let (victim_idx, victim) = self.pick_victim_in(vtpn);
+        env.note_replacement(victim.dirty);
+
+        if victim.dirty {
+            if self.cfg.batch_update {
+                // Write back every dirty entry of the node in one update;
+                // the others stay cached, now clean (Section 4.4).
+                let node = self.nodes.get_mut(&vtpn).expect("victim node");
+                let mut updates: Vec<(u16, Ppn)> = Vec::with_capacity(node.dirty_count as usize);
+                // Collect in deterministic offset order.
+                let mut dirty_idx: Vec<LruIdx> = Vec::new();
+                for (idx, e) in node.entries.iter_lru() {
+                    if e.dirty {
+                        updates.push((e.offset, e.ppn));
+                        dirty_idx.push(idx);
+                    }
+                }
+                updates.sort_unstable_by_key(|u| u.0);
+                for idx in dirty_idx {
+                    node.entries.get_mut(idx).expect("valid handle").dirty = false;
+                }
+                node.dirty_count = 0;
+                env.update_translation_page(vtpn, &updates, OpPurpose::Translation)?;
+            } else {
+                env.update_translation_page(
+                    vtpn,
+                    &[(victim.offset, victim.ppn)],
+                    OpPurpose::Translation,
+                )?;
+                let node = self.nodes.get_mut(&vtpn).expect("victim node");
+                node.entries
+                    .get_mut(victim_idx)
+                    .expect("valid handle")
+                    .dirty = false;
+                node.dirty_count -= 1;
+            }
+        }
+
+        // Remove the (now clean) victim.
+        let node = self.nodes.get_mut(&vtpn).expect("victim node");
+        let e = node.entries.remove(victim_idx);
+        node.by_offset.remove(&e.offset);
+        node.stamp_sum -= e.stamp;
+        let mut freed = ENTRY_BYTES;
+        if node.entries.is_empty() {
+            self.order.remove(&(node.hot_key, vtpn));
+            self.nodes.remove(&vtpn);
+            freed += NODE_BYTES;
+            self.on_node_removed();
+        } else {
+            Self::reposition(&mut self.order, vtpn, node);
+        }
+        self.bytes_used -= freed;
+        Ok(freed)
+    }
+
+    /// Makes room for loading `1 + prefetch` entries into `vtpn` (which may
+    /// not exist yet), reducing `prefetch` so that the forced replacement
+    /// stays within the single LRU TP node (Section 4.5, rule 2). Returns
+    /// the final prefetch length.
+    fn make_room(&mut self, env: &mut SsdEnv, vtpn: Vtpn, mut prefetch: usize) -> Result<usize> {
+        loop {
+            // Re-evaluated every iteration: an eviction can dismantle the
+            // target node itself, re-introducing its NODE_BYTES cost.
+            let node_cost = if self.nodes.contains_key(&vtpn) {
+                0
+            } else {
+                NODE_BYTES
+            };
+            let need = node_cost + (1 + prefetch) * ENTRY_BYTES;
+            let free = self.budget_bytes.saturating_sub(self.bytes_used);
+            if need <= free {
+                return Ok(prefetch);
+            }
+            let deficit = need - free;
+            let evictions = deficit.div_ceil(ENTRY_BYTES);
+            let lru_len = self
+                .order
+                .iter()
+                .next()
+                .map(|&(_, v)| self.nodes[&v].len())
+                .unwrap_or(0);
+            if evictions <= lru_len || prefetch == 0 {
+                // Evict one entry and re-evaluate. When prefetch is already
+                // 0 the requested entry must be loaded regardless, even if
+                // that crosses into a second node.
+                self.evict_one(env)?;
+            } else {
+                prefetch -= 1;
+            }
+        }
+    }
+}
+
+impl Ftl for TpFtl {
+    fn name(&self) -> String {
+        format!("TPFTL({})", self.cfg.flags())
+    }
+
+    fn translate(&mut self, env: &mut SsdEnv, lpn: Lpn, ctx: &AccessCtx) -> Result<Option<Ppn>> {
+        self.clock += 1;
+        let vtpn = env.vtpn_of(lpn);
+        let offset = env.offset_of(lpn);
+
+        if let Some(ppn) = self.cached_ppn(vtpn, offset) {
+            env.note_lookup(true);
+            self.touch_entry(vtpn, offset);
+            return Ok((ppn != PPN_NONE).then_some(ppn));
+        }
+        env.note_lookup(false);
+
+        // Prefetch length: the larger of the request-level remainder and
+        // the selective predecessor run, clipped to the page boundary.
+        let req_len = if self.cfg.request_prefetch {
+            ctx.remaining_in_request as usize
+        } else {
+            0
+        };
+        let sel_len = if self.cfg.selective_prefetch && self.selective_active {
+            self.cached_predecessors(vtpn, offset)
+        } else {
+            0
+        };
+        let boundary = env.entries_per_tp() - 1 - offset as usize;
+        let want = req_len.max(sel_len).min(boundary);
+
+        let granted = self.make_room(env, vtpn, want)?;
+
+        // One translation-page read serves the requested entry and every
+        // prefetched successor (they share the page by rule 1).
+        let payload = env.read_translation_entries(vtpn, OpPurpose::Translation)?;
+        let requested_ppn = payload[offset as usize];
+        for i in 0..=granted as u16 {
+            let off = offset + i;
+            if self.cached_ppn(vtpn, off).is_none() {
+                self.insert_entry(vtpn, off, payload[off as usize]);
+            }
+        }
+        Ok((requested_ppn != PPN_NONE).then_some(requested_ppn))
+    }
+
+    fn update_mapping(&mut self, env: &mut SsdEnv, lpn: Lpn, new_ppn: Ppn) -> Result<()> {
+        let vtpn = env.vtpn_of(lpn);
+        let offset = env.offset_of(lpn);
+        let node = self
+            .nodes
+            .get_mut(&vtpn)
+            .expect("update_mapping contract: entry was translated immediately before");
+        let idx = *node.by_offset.get(&offset).expect("entry cached");
+        let e = node.entries.get_mut(idx).expect("valid handle");
+        e.ppn = new_ppn;
+        if !e.dirty {
+            e.dirty = true;
+            node.dirty_count += 1;
+        }
+        Ok(())
+    }
+
+    fn on_gc_data_block(&mut self, env: &mut SsdEnv, moved: &[(Lpn, Ppn)]) -> Result<u64> {
+        let mut hits = 0u64;
+        let mut misses: Vec<(Lpn, Ppn)> = Vec::new();
+        for &(lpn, new_ppn) in moved {
+            let vtpn = env.vtpn_of(lpn);
+            let offset = env.offset_of(lpn);
+            match self.nodes.get_mut(&vtpn).and_then(|n| {
+                let idx = *n.by_offset.get(&offset)?;
+                Some((n, idx))
+            }) {
+                Some((node, idx)) => {
+                    let e = node.entries.get_mut(idx).expect("valid handle");
+                    e.ppn = new_ppn;
+                    if !e.dirty {
+                        e.dirty = true;
+                        node.dirty_count += 1;
+                    }
+                    hits += 1;
+                }
+                None => misses.push((lpn, new_ppn)),
+            }
+        }
+        for (vtpn, mut updates) in group_by_vtpn(env, &misses) {
+            if self.cfg.batch_update {
+                // Piggyback every cached dirty entry of this page on the
+                // unavoidable update (Section 4.4), marking them clean.
+                if let Some(node) = self.nodes.get_mut(&vtpn) {
+                    if node.dirty_count > 0 {
+                        let mut dirty_idx = Vec::new();
+                        for (idx, e) in node.entries.iter_lru() {
+                            if e.dirty {
+                                updates.push((e.offset, e.ppn));
+                                dirty_idx.push(idx);
+                            }
+                        }
+                        for idx in dirty_idx {
+                            node.entries.get_mut(idx).expect("valid handle").dirty = false;
+                        }
+                        node.dirty_count = 0;
+                    }
+                }
+            }
+            updates.sort_unstable_by_key(|u| u.0);
+            env.update_translation_page(vtpn, &updates, OpPurpose::GcTranslation)?;
+        }
+        Ok(hits)
+    }
+
+    fn cache_bytes_used(&self) -> usize {
+        self.bytes_used
+    }
+
+    fn cached_entries(&self) -> usize {
+        self.nodes.values().map(TpNode::len).sum()
+    }
+
+    fn peek_cached(&self, env: &SsdEnv, lpn: Lpn) -> crate::Result<Option<Option<Ppn>>> {
+        Ok(self
+            .cached_ppn(env.vtpn_of(lpn), env.offset_of(lpn))
+            .map(|p| (p != PPN_NONE).then_some(p)))
+    }
+
+    fn mark_clean(&mut self, vtpn: Vtpn) {
+        if let Some(node) = self.nodes.get_mut(&vtpn) {
+            let idxs: Vec<_> = node.entries.iter_lru().map(|(i, _)| i).collect();
+            for i in idxs {
+                node.entries.get_mut(i).expect("live handle").dirty = false;
+            }
+            node.dirty_count = 0;
+        }
+    }
+
+    fn cached_tp_distribution(&self) -> Vec<TpDistEntry> {
+        let mut out: Vec<TpDistEntry> = self
+            .nodes
+            .iter()
+            .map(|(&vtpn, n)| TpDistEntry {
+                vtpn,
+                entries: n.len() as u32,
+                dirty: n.dirty_count,
+            })
+            .collect();
+        out.sort_unstable_by_key(|d| d.vtpn);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver;
+
+    /// 8 MB logical space (2048 pages, 2 translation pages), cache budget
+    /// of `bytes` for the FTL structures.
+    fn setup(bytes: usize, flags: &str) -> (TpFtl, SsdEnv) {
+        setup_sized(8 << 20, bytes, flags)
+    }
+
+    fn setup_sized(logical: u64, bytes: usize, flags: &str) -> (TpFtl, SsdEnv) {
+        let mut config = SsdConfig::paper_default(logical);
+        config.cache_bytes = config.gtd_bytes() + bytes;
+        let mut env = SsdEnv::new(config.clone()).unwrap();
+        let mut ftl = TpFtl::new(&config, TpftlConfig::from_flags(flags)).unwrap();
+        driver::bootstrap(&mut ftl, &mut env).unwrap();
+        (ftl, env)
+    }
+
+    fn read(ftl: &mut TpFtl, env: &mut SsdEnv, lpn: Lpn) {
+        driver::serve_page_access(ftl, env, lpn, AccessCtx::single(false)).unwrap();
+    }
+
+    fn write(ftl: &mut TpFtl, env: &mut SsdEnv, lpn: Lpn) {
+        driver::serve_page_access(ftl, env, lpn, AccessCtx::single(true)).unwrap();
+    }
+
+    #[test]
+    fn flags_roundtrip() {
+        assert_eq!(TpftlConfig::full().flags(), "rsbc");
+        assert_eq!(TpftlConfig::baseline().flags(), "–");
+        assert_eq!(TpftlConfig::from_flags("bc").flags(), "bc");
+        assert_eq!(TpftlConfig::from_flags("rs").flags(), "rs");
+        assert_eq!(
+            TpFtl::new(&SsdConfig::paper_default(8 << 20), TpftlConfig::full())
+                .unwrap()
+                .name(),
+            "TPFTL(rsbc)"
+        );
+    }
+
+    #[test]
+    fn miss_then_hit_two_level() {
+        let (mut ftl, mut env) = setup(1024, "");
+        write(&mut ftl, &mut env, 7);
+        assert_eq!(env.stats.lookups, 1);
+        assert_eq!(env.stats.hits, 0);
+        read(&mut ftl, &mut env, 7);
+        assert_eq!(env.stats.hits, 1);
+        let d = ftl.cached_tp_distribution();
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].vtpn, d[0].entries, d[0].dirty), (0, 1, 1));
+        assert_eq!(ftl.cache_bytes_used(), NODE_BYTES + ENTRY_BYTES);
+    }
+
+    #[test]
+    fn entry_compression_fits_more_than_dftl() {
+        // 120 bytes: DFTL would fit 15 entries; TPFTL fits (120-8)/6 = 18
+        // in one node.
+        let (mut ftl, mut env) = setup(120, "");
+        for lpn in 0..50u32 {
+            read(&mut ftl, &mut env, lpn);
+        }
+        assert!(ftl.cached_entries() >= 18, "got {}", ftl.cached_entries());
+        assert!(ftl.cache_bytes_used() <= 120);
+    }
+
+    #[test]
+    fn victim_comes_from_coldest_node() {
+        let (mut ftl, mut env) = setup(NODE_BYTES * 2 + ENTRY_BYTES * 4, "");
+        // Node 0 entries (cold), then node 1 entries (hot).
+        read(&mut ftl, &mut env, 0);
+        read(&mut ftl, &mut env, 1);
+        read(&mut ftl, &mut env, 1024);
+        read(&mut ftl, &mut env, 1025);
+        // Cache full (2 nodes + 4 entries). Next load evicts from node 0.
+        read(&mut ftl, &mut env, 1026);
+        let d = ftl.cached_tp_distribution();
+        let node0 = d.iter().find(|e| e.vtpn == 0).unwrap();
+        assert_eq!(node0.entries, 1, "coldest node must have shrunk");
+        assert_eq!(env.stats.replacements, 1);
+    }
+
+    #[test]
+    fn clean_first_prefers_clean_victims() {
+        let (mut ftl, mut env) = setup(NODE_BYTES + ENTRY_BYTES * 3, "c");
+        write(&mut ftl, &mut env, 0); // dirty, LRU-most after later reads
+        read(&mut ftl, &mut env, 1); // clean
+        read(&mut ftl, &mut env, 2); // clean
+                                     // Full: 1 node + 3 entries. Loading a 4th evicts LRU *clean* (1).
+        read(&mut ftl, &mut env, 3);
+        assert_eq!(env.stats.replacements, 1);
+        assert_eq!(env.stats.dirty_replacements, 0);
+        let node = ftl.cached_tp_distribution()[0];
+        assert_eq!(node.dirty, 1, "dirty entry survived");
+        assert!(ftl.cached_ppn(0, 0).is_some(), "dirty entry 0 still cached");
+        assert!(ftl.cached_ppn(0, 1).is_none(), "clean LRU entry 1 evicted");
+    }
+
+    #[test]
+    fn without_clean_first_lru_is_evicted() {
+        let (mut ftl, mut env) = setup(NODE_BYTES + ENTRY_BYTES * 3, "");
+        write(&mut ftl, &mut env, 0);
+        read(&mut ftl, &mut env, 1);
+        read(&mut ftl, &mut env, 2);
+        read(&mut ftl, &mut env, 3);
+        // Victim is the LRU entry (0), which is dirty -> one writeback.
+        assert_eq!(env.stats.dirty_replacements, 1);
+        assert!(ftl.cached_ppn(0, 0).is_none());
+    }
+
+    #[test]
+    fn batch_update_flushes_whole_node() {
+        let (mut ftl, mut env) = setup(NODE_BYTES + ENTRY_BYTES * 3, "b");
+        // Three dirty entries; evicting one flushes all three in ONE
+        // translation page update.
+        write(&mut ftl, &mut env, 0);
+        write(&mut ftl, &mut env, 1);
+        write(&mut ftl, &mut env, 2);
+        let tw = env.flash().stats().translation_writes();
+        read(&mut ftl, &mut env, 3);
+        assert_eq!(env.flash().stats().translation_writes(), tw + 1);
+        assert_eq!(env.stats.dirty_replacements, 1);
+        let node = ftl.cached_tp_distribution()[0];
+        assert_eq!(node.dirty, 0, "all entries became clean");
+        assert_eq!(node.entries, 3, "only the victim left the cache");
+        // The flushed mappings are durable: drop the cache state by
+        // re-reading them and checking data resolves.
+        for lpn in 1..3u32 {
+            read(&mut ftl, &mut env, lpn);
+        }
+    }
+
+    #[test]
+    fn without_batch_update_each_dirty_eviction_writes() {
+        let (mut ftl, mut env) = setup(NODE_BYTES + ENTRY_BYTES * 3, "");
+        write(&mut ftl, &mut env, 0);
+        write(&mut ftl, &mut env, 1);
+        write(&mut ftl, &mut env, 2);
+        let tw = env.flash().stats().translation_writes();
+        // Two loads -> two dirty evictions -> two separate updates.
+        read(&mut ftl, &mut env, 3);
+        read(&mut ftl, &mut env, 4);
+        assert_eq!(env.flash().stats().translation_writes(), tw + 2);
+        assert_eq!(env.stats.dirty_replacements, 2);
+    }
+
+    #[test]
+    fn request_prefetch_single_miss_per_request() {
+        let (mut ftl, mut env) = setup(1024, "r");
+        driver::serve_request(&mut ftl, &mut env, 100, 8, false).unwrap();
+        assert_eq!(env.stats.lookups, 8);
+        assert_eq!(env.stats.hits, 7, "one miss for the whole request");
+        assert_eq!(env.flash().stats().translation_reads(), 1);
+    }
+
+    #[test]
+    fn request_prefetch_respects_page_boundary() {
+        let (mut ftl, mut env) = setup(1024, "r");
+        // Request crosses the vtpn 0/1 boundary at LPN 1024: two misses.
+        driver::serve_request(&mut ftl, &mut env, 1020, 8, false).unwrap();
+        assert_eq!(env.stats.lookups, 8);
+        assert_eq!(env.stats.hits, 6);
+        assert_eq!(env.flash().stats().translation_reads(), 2);
+    }
+
+    #[test]
+    fn selective_prefetch_activates_on_node_shrinkage() {
+        // 64 MB -> 16 translation pages, room for many sparse nodes.
+        let (mut ftl, mut env) = setup_sized(64 << 20, NODE_BYTES * 10 + ENTRY_BYTES * 20, "s");
+        assert!(!ftl.selective_active());
+        // Load 10 sparse nodes with 2 entries each (fills the cache).
+        for v in 1..=10u32 {
+            read(&mut ftl, &mut env, v * 1024);
+            read(&mut ftl, &mut env, v * 1024 + 500);
+        }
+        // A sequential run concentrates loads in one node while evictions
+        // dismantle the sparse nodes one by one; each node removal
+        // decrements the counter until it trips the threshold.
+        for lpn in 0..24u32 {
+            read(&mut ftl, &mut env, lpn);
+        }
+        assert!(
+            ftl.selective_active(),
+            "sequential phase must activate prefetching"
+        );
+    }
+
+    #[test]
+    fn selective_prefetch_loads_successor_run() {
+        let (mut ftl, mut env) = setup(4096, "s");
+        // Warm two consecutive entries without prefetching.
+        read(&mut ftl, &mut env, 10);
+        read(&mut ftl, &mut env, 11);
+        ftl.selective_active = true; // force active for a focused test
+                                     // Miss on 12 has 2 cached predecessors (10, 11) -> prefetch 13, 14.
+        read(&mut ftl, &mut env, 12);
+        assert!(ftl.cached_ppn(0, 13).is_some(), "successor 13 prefetched");
+        assert!(ftl.cached_ppn(0, 14).is_some(), "successor 14 prefetched");
+        assert!(
+            ftl.cached_ppn(0, 15).is_none(),
+            "prefetch length is bounded"
+        );
+        // 13/14 now hit without flash reads.
+        let tr = env.flash().stats().translation_reads();
+        read(&mut ftl, &mut env, 13);
+        read(&mut ftl, &mut env, 14);
+        assert_eq!(env.flash().stats().translation_reads(), tr);
+    }
+
+    #[test]
+    fn prefetch_limited_by_lru_node_size() {
+        // Budget: 2 nodes + 4 entries. Node A holds 1 entry (cold), node B
+        // 3 entries. A miss with a large request wants many entries but the
+        // LRU node only has 1 evictable entry.
+        let (mut ftl, mut env) = setup(NODE_BYTES * 2 + ENTRY_BYTES * 4, "r");
+        read(&mut ftl, &mut env, 1024); // node B=vtpn1 (cold after A reads)
+        read(&mut ftl, &mut env, 0);
+        read(&mut ftl, &mut env, 1);
+        read(&mut ftl, &mut env, 2); // node A=vtpn0 hot with 3 entries
+                                     // Miss on LPN 512 with 7 remaining pages: wants 8 entries, but the
+                                     // replacement must stay within the LRU node (vtpn1, 1 entry), so
+                                     // the prefetch is reduced to fit.
+        driver::serve_request(&mut ftl, &mut env, 512, 8, false).unwrap();
+        // The load was reduced: cache stayed within budget throughout.
+        assert!(ftl.cache_bytes_used() <= NODE_BYTES * 2 + ENTRY_BYTES * 4);
+        // vtpn1's node was dismantled first (it was coldest).
+        let d = ftl.cached_tp_distribution();
+        assert!(
+            d.iter().all(|e| e.vtpn == 0),
+            "cold vtpn1 node evicted: {d:?}"
+        );
+    }
+
+    #[test]
+    fn gc_miss_piggybacks_cached_dirty_entries() {
+        let (mut ftl, mut env) = setup(NODE_BYTES + ENTRY_BYTES * 8, "b");
+        // Dirty a couple of entries of vtpn 0 and keep them cached.
+        write(&mut ftl, &mut env, 0);
+        write(&mut ftl, &mut env, 1);
+        // Simulate GC misses on the same translation page.
+        let moved = vec![(
+            512u32,
+            env.program_data_page(512, OpPurpose::GcData).unwrap(),
+        )];
+        let tw = env.flash().stats().translation_writes();
+        let hits = ftl.on_gc_data_block(&mut env, &moved).unwrap();
+        assert_eq!(hits, 0);
+        assert_eq!(env.flash().stats().translation_writes(), tw + 1);
+        // The cached dirty entries were flushed alongside.
+        assert_eq!(ftl.cached_tp_distribution()[0].dirty, 0);
+        // And are durable in flash.
+        let entries = env
+            .read_translation_entries(0, OpPurpose::Translation)
+            .unwrap();
+        assert_ne!(entries[0], PPN_NONE);
+        assert_ne!(entries[1], PPN_NONE);
+    }
+
+    #[test]
+    fn gc_hit_updates_in_cache_without_flash_write() {
+        let (mut ftl, mut env) = setup(1024, "");
+        write(&mut ftl, &mut env, 5);
+        let new_ppn = env.program_data_page(5, OpPurpose::GcData).unwrap();
+        let tw = env.flash().stats().translation_writes();
+        let hits = ftl.on_gc_data_block(&mut env, &[(5, new_ppn)]).unwrap();
+        assert_eq!(hits, 1);
+        assert_eq!(env.flash().stats().translation_writes(), tw);
+        assert_eq!(ftl.cached_ppn(0, 5), Some(new_ppn));
+    }
+
+    #[test]
+    fn budget_respected_under_random_workload() {
+        let (mut ftl, mut env) = setup(200, "rsbc");
+        for i in 0..3000u32 {
+            let lpn = (i * 701) % 2048;
+            driver::serve_page_access(
+                &mut ftl,
+                &mut env,
+                lpn,
+                AccessCtx {
+                    is_write: i % 3 != 0,
+                    remaining_in_request: (i % 5),
+                },
+            )
+            .unwrap();
+            assert!(
+                ftl.cache_bytes_used() <= 200,
+                "budget exceeded at access {i}"
+            );
+        }
+        // Invariants: node byte accounting is exact.
+        let expect: usize = ftl
+            .nodes
+            .values()
+            .map(|n| NODE_BYTES + n.len() * ENTRY_BYTES)
+            .sum();
+        assert_eq!(ftl.cache_bytes_used(), expect);
+        assert_eq!(ftl.order.len(), ftl.nodes.len());
+    }
+
+    #[test]
+    fn mapping_consistency_under_gc_pressure() {
+        let (mut ftl, mut env) = setup(400, "rsbc");
+        for i in 0..4000u32 {
+            let lpn = if i % 2 == 0 {
+                (i / 2) % 48
+            } else {
+                100 + (i / 2) % 1700
+            };
+            write(&mut ftl, &mut env, lpn);
+        }
+        assert!(env.stats.gc_updates > 0, "GC must have migrated pages");
+        // Every written LPN resolves to the valid page that holds it, and
+        // no LPN has two valid pages.
+        let mut seen = std::collections::HashSet::new();
+        for (_, tag, is_tp) in env.flash().scan_valid() {
+            if !is_tp {
+                assert!(seen.insert(tag), "LPN {tag} has two valid pages");
+            }
+        }
+        for lpn in 0..48u32 {
+            let ppn = ftl
+                .translate(&mut env, lpn, &AccessCtx::single(false))
+                .unwrap()
+                .expect("hot page mapped");
+            env.read_data_page(ppn, lpn).unwrap();
+        }
+    }
+
+    #[test]
+    fn hotness_average_orders_nodes() {
+        let (mut ftl, mut env) = setup(4096, "");
+        // Node 0: one old access. Node 1: one recent access. Then touch
+        // node 0 repeatedly -> its average rises above node 1's.
+        read(&mut ftl, &mut env, 0);
+        read(&mut ftl, &mut env, 1024);
+        for _ in 0..5 {
+            read(&mut ftl, &mut env, 0);
+        }
+        let coldest = ftl.order.iter().next().unwrap().1;
+        assert_eq!(coldest, 1, "node 1 (vtpn 1) must now be coldest");
+    }
+}

@@ -1,0 +1,95 @@
+//! Greedy garbage collection (Section 2/3.1 of the paper).
+//!
+//! A GC operation performs the paper's three steps: (1) pick the sealed
+//! block with the fewest valid pages — data or translation; (2) migrate the
+//! remaining valid pages, updating their mapping entries (through the FTL,
+//! which decides GC hit vs. batched flash update) or the GTD; (3) erase the
+//! block. The collector is a free function generic over [`Ftl`] so that the
+//! FTL and the environment can be borrowed simultaneously without cycles.
+
+use tpftl_flash::{Lpn, OpPurpose, Ppn, Vtpn};
+
+use crate::blockmgr::AllocClass;
+use crate::env::SsdEnv;
+use crate::ftl::Ftl;
+use crate::{FtlError, Result};
+
+/// Runs GC until the free pool reaches the configured high watermark, if it
+/// has dropped below the low watermark. Call before serving each request.
+pub fn ensure_free<F: Ftl + ?Sized>(ftl: &mut F, env: &mut SsdEnv) -> Result<()> {
+    if env.free_blocks() >= env.config().gc_low_blocks {
+        return Ok(());
+    }
+    while env.free_blocks() < env.config().gc_high_blocks {
+        collect_one(ftl, env)?;
+    }
+    Ok(())
+}
+
+/// Collects exactly one victim block.
+///
+/// # Errors
+///
+/// [`FtlError::DeviceFull`] when no sealed block has a reclaimable page.
+pub fn collect_one<F: Ftl + ?Sized>(ftl: &mut F, env: &mut SsdEnv) -> Result<()> {
+    let policy = env.config().gc_policy;
+    let (victim, class) = env.blocks.pick_victim(policy).ok_or(FtlError::DeviceFull)?;
+    match class {
+        AllocClass::Data => collect_data_block(ftl, env, victim),
+        AllocClass::Translation => collect_translation_block(env, victim),
+    }
+}
+
+fn collect_data_block<F: Ftl + ?Sized>(
+    ftl: &mut F,
+    env: &mut SsdEnv,
+    victim: tpftl_flash::BlockId,
+) -> Result<()> {
+    let valid: Vec<(Ppn, Lpn)> = env.flash.valid_pages(victim).collect();
+    env.gc_stats.data_victims += 1;
+    env.gc_stats.data_pages_migrated += valid.len() as u64;
+
+    let mut moved = Vec::with_capacity(valid.len());
+    for (old_ppn, lpn) in valid {
+        env.flash.read_page(old_ppn, OpPurpose::GcData)?;
+        let new_ppn = env.program_data_page(lpn, OpPurpose::GcData)?;
+        env.invalidate_page(old_ppn)?;
+        moved.push((lpn, new_ppn));
+    }
+
+    // Mapping updates: cache hits are absorbed (and deferred as dirty
+    // entries); misses are written back to translation pages by the FTL.
+    let hits = ftl.on_gc_data_block(env, &moved)?;
+    env.stats.gc_updates += moved.len() as u64;
+    env.stats.gc_hits += hits;
+
+    env.flash.erase_block(victim, OpPurpose::GcData)?;
+    env.blocks.on_erased(victim);
+    Ok(())
+}
+
+fn collect_translation_block(env: &mut SsdEnv, victim: tpftl_flash::BlockId) -> Result<()> {
+    let valid: Vec<(Ppn, Vtpn)> = env.flash.valid_pages(victim).collect();
+    env.gc_stats.trans_victims += 1;
+    env.gc_stats.trans_pages_migrated += valid.len() as u64;
+
+    for (old_ppn, vtpn) in valid {
+        let payload = env
+            .flash
+            .read_translation_payload(old_ppn, OpPurpose::GcTranslation)?
+            .to_vec();
+        env.invalidate_page(old_ppn)?;
+        let new_ppn = env.blocks.alloc_page(AllocClass::Translation, &env.flash)?;
+        env.flash.program_translation_page(
+            new_ppn,
+            vtpn,
+            payload.into_boxed_slice(),
+            OpPurpose::GcTranslation,
+        )?;
+        env.gtd.set(vtpn, new_ppn);
+    }
+
+    env.flash.erase_block(victim, OpPurpose::GcTranslation)?;
+    env.blocks.on_erased(victim);
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! The global translation directory (GTD).
+//!
+//! The GTD maps each virtual translation-page number to the physical page
+//! currently holding that slice of the mapping table (Section 4.1: "The
+//! global translation directory, which is small and entirely resident in
+//! the mapping cache, maintains the physical locations of translation
+//! pages"). It costs 4 bytes per translation page, accounted against the
+//! cache budget by [`crate::SsdConfig::gtd_bytes`].
+
+use tpftl_flash::{Ppn, Vtpn, PPN_NONE};
+
+/// Directory of translation-page locations.
+#[derive(Debug, Clone)]
+pub struct Gtd {
+    entries: Vec<Ppn>,
+}
+
+impl Gtd {
+    /// Creates a directory for `num_vtpns` translation pages, all initially
+    /// absent (the mapping table has not been written yet).
+    pub fn new(num_vtpns: usize) -> Self {
+        Self {
+            entries: vec![PPN_NONE; num_vtpns],
+        }
+    }
+
+    /// Number of translation pages the directory covers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Physical location of translation page `vtpn`, or `None` if it has
+    /// never been written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vtpn` is out of range (an FTL addressing bug).
+    pub fn get(&self, vtpn: Vtpn) -> Option<Ppn> {
+        let p = self.entries[vtpn as usize];
+        (p != PPN_NONE).then_some(p)
+    }
+
+    /// Records that translation page `vtpn` now lives at `ppn`.
+    pub fn set(&mut self, vtpn: Vtpn, ppn: Ppn) {
+        self.entries[vtpn as usize] = ppn;
+    }
+
+    /// RAM footprint in bytes (4 B per entry, as in the paper).
+    pub fn bytes(&self) -> usize {
+        self.entries.len() * 4
+    }
+
+    /// Iterates over present mappings as `(vtpn, ppn)`.
+    pub fn iter_present(&self) -> impl Iterator<Item = (Vtpn, Ppn)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p != PPN_NONE)
+            .map(|(v, p)| (v as Vtpn, *p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut g = Gtd::new(8);
+        assert_eq!(g.len(), 8);
+        assert!(g.get(3).is_none());
+        g.set(3, 100);
+        assert_eq!(g.get(3), Some(100));
+        g.set(3, 101);
+        assert_eq!(g.get(3), Some(101));
+        assert_eq!(g.bytes(), 32);
+        assert_eq!(g.iter_present().collect::<Vec<_>>(), vec![(3, 101)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let g = Gtd::new(2);
+        let _ = g.get(2);
+    }
+}

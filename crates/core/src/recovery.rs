@@ -1,0 +1,153 @@
+//! Mount-time recovery: rebuilding the FTL's RAM state from flash.
+//!
+//! A real SSD loses its RAM state (GTD, block bookkeeping, mapping cache)
+//! at power-off. After a *clean* shutdown — the FTL flushed every dirty
+//! mapping entry with [`flush_cache`] — everything can be reconstructed
+//! from flash alone:
+//!
+//! * the GTD, by scanning for valid translation pages (their out-of-band
+//!   tag is the VTPN);
+//! * the block manager, by classifying each block from its page states
+//!   (free / sealed data / sealed translation), seeding wear from the
+//!   per-block erase counters;
+//! * the mapping cache starts cold, exactly like the paper's experiments.
+//!
+//! [`mount`] performs the reconstruction and [`verify`] cross-checks the
+//! persisted mapping table against the physically valid data pages — the
+//! strongest end-to-end consistency oracle in the test suite.
+
+use tpftl_flash::{Flash, OpPurpose, Ppn, Vtpn, PPN_NONE};
+
+use crate::env::SsdEnv;
+use crate::ftl::Ftl;
+use crate::gc;
+use crate::gtd::Gtd;
+use crate::{Result, SsdConfig};
+
+/// Writes back every dirty entry of the FTL's mapping cache, grouped per
+/// translation page, leaving the cache clean — the clean-unmount barrier.
+pub fn flush_cache<F: Ftl + ?Sized>(ftl: &mut F, env: &mut SsdEnv) -> Result<()> {
+    if !ftl.uses_translation_pages() {
+        return Ok(()); // RAM-table FTLs have nothing to persist here.
+    }
+    // The flush itself writes translation pages, which may need GC room.
+    if ftl.uses_page_level_gc() {
+        gc::ensure_free(ftl, env)?;
+    }
+    for d in ftl.cached_tp_distribution() {
+        if d.dirty > 0 {
+            flush_one_page(ftl, env, d.vtpn)?;
+        }
+    }
+    debug_assert!(
+        ftl.cached_tp_distribution().iter().all(|d| d.dirty == 0),
+        "flush left dirty entries behind"
+    );
+    Ok(())
+}
+
+/// Flushes one translation page: overlays every cached entry (read via the
+/// side-effect-free [`Ftl::peek_cached`]) onto the persisted page and
+/// writes it back if anything changed, then marks the page's entries clean.
+fn flush_one_page<F: Ftl + ?Sized>(ftl: &mut F, env: &mut SsdEnv, vtpn: Vtpn) -> Result<()> {
+    let entries = env.entries_per_tp() as u32;
+    let base = vtpn * entries;
+    let persisted = env.read_translation_entries(vtpn, OpPurpose::Translation)?;
+    let mut updates: Vec<(u16, Ppn)> = Vec::new();
+    for off in 0..entries {
+        let lpn = base + off;
+        if (lpn as u64) >= env.config().logical_pages() {
+            break;
+        }
+        if let Some(cached) = ftl.peek_cached(env, lpn)? {
+            let cached = cached.unwrap_or(PPN_NONE);
+            if persisted[off as usize] != cached {
+                updates.push((off as u16, cached));
+            }
+        }
+    }
+    if !updates.is_empty() {
+        env.update_translation_page(vtpn, &updates, OpPurpose::Translation)?;
+    }
+    ftl.mark_clean(vtpn);
+    Ok(())
+}
+
+/// Rebuilds the translation directory by scanning flash for valid
+/// translation pages.
+///
+/// # Panics
+///
+/// Panics on a duplicate VTPN (two valid translation pages for the same
+/// slice of the table), which indicates on-flash corruption.
+pub fn rebuild_gtd(flash: &Flash, config: &SsdConfig) -> Gtd {
+    let mut gtd = Gtd::new(config.num_vtpns() as usize);
+    for (ppn, tag, is_tp) in flash.scan_valid() {
+        if is_tp {
+            assert!(
+                gtd.get(tag).is_none(),
+                "two valid translation pages for VTPN {tag} (corruption)"
+            );
+            gtd.set(tag, ppn);
+        }
+    }
+    gtd
+}
+
+/// Reconstructs a full [`SsdEnv`] around an existing flash device, as an
+/// SSD controller does at mount time. Statistics start at zero; partially
+/// programmed blocks are conservatively sealed (their unwritten pages come
+/// back the next time GC erases them).
+pub fn mount(flash: Flash, config: SsdConfig) -> Result<SsdEnv> {
+    let gtd = rebuild_gtd(&flash, &config);
+    SsdEnv::remount(config, flash, gtd)
+}
+
+/// Verifies the persisted mapping table against physical reality: every
+/// persisted mapping must point at a valid data page holding that LPN, and
+/// every valid data page must be referenced. Returns the number of mapped
+/// pages checked.
+///
+/// # Panics
+///
+/// Panics on any inconsistency; this is a test/debug oracle.
+pub fn verify(env: &SsdEnv) -> u64 {
+    // Index physical reality once.
+    let mut page_of: std::collections::HashMap<Ppn, u32> = std::collections::HashMap::new();
+    let mut data_pages = 0u64;
+    for (ppn, tag, is_tp) in env.flash().scan_valid() {
+        if !is_tp {
+            page_of.insert(ppn, tag);
+            data_pages += 1;
+        }
+    }
+    let mut checked = 0u64;
+    for vtpn in 0..env.gtd().len() as Vtpn {
+        let Some(tp_ppn) = env.gtd().get(vtpn) else {
+            continue;
+        };
+        let entries = env
+            .flash()
+            .peek_translation_payload(tp_ppn)
+            .expect("GTD points at a translation page");
+        let base = vtpn * env.entries_per_tp() as u32;
+        for (off, &ppn) in entries.iter().enumerate() {
+            if ppn == PPN_NONE {
+                continue;
+            }
+            let lpn = base + off as u32;
+            match page_of.get(&ppn) {
+                Some(&tag) if tag == lpn => checked += 1,
+                Some(&tag) => {
+                    panic!("entry for LPN {lpn} points at page {ppn} holding LPN {tag}")
+                }
+                None => panic!("entry for LPN {lpn} points at non-live page {ppn}"),
+            }
+        }
+    }
+    assert_eq!(
+        checked, data_pages,
+        "valid data pages not referenced by the mapping table (lost writes)"
+    );
+    checked
+}

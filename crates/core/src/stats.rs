@@ -1,0 +1,100 @@
+//! Cache-level statistics: the quantities the paper's figures plot.
+//!
+//! Flash-level operation counts live in [`tpftl_flash::FlashStats`]; this
+//! struct tracks the cache-management events that define the paper's two
+//! key factors (Section 3.1): the hit ratio `H_r` and the probability of
+//! replacing a dirty entry `P_rd`, plus the GC hit ratio `H_gcr`.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by the FTLs through [`crate::env::SsdEnv`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FtlStats {
+    /// Address-translation lookups (one per page access).
+    pub lookups: u64,
+    /// Lookups served from the mapping cache.
+    pub hits: u64,
+    /// Mapping-entry replacements (evictions), the denominator of `P_rd`.
+    /// For S-FTL the replacement unit is a whole cached translation page.
+    pub replacements: u64,
+    /// Replacements whose victim was dirty, the numerator of `P_rd`.
+    pub dirty_replacements: u64,
+    /// Mapping updates required by GC-migrated data pages.
+    pub gc_updates: u64,
+    /// GC mapping updates absorbed by the cache (the paper's GC hits).
+    pub gc_hits: u64,
+    /// Host page reads served.
+    pub user_page_reads: u64,
+    /// Host page writes served.
+    pub user_page_writes: u64,
+    /// Host requests served.
+    pub requests: u64,
+}
+
+impl FtlStats {
+    /// Cache hit ratio `H_r`.
+    pub fn hit_ratio(&self) -> f64 {
+        ratio(self.hits, self.lookups)
+    }
+
+    /// Probability of replacing a dirty entry `P_rd`.
+    pub fn dirty_replacement_prob(&self) -> f64 {
+        ratio(self.dirty_replacements, self.replacements)
+    }
+
+    /// GC hit ratio `H_gcr`.
+    pub fn gc_hit_ratio(&self) -> f64 {
+        ratio(self.gc_hits, self.gc_updates)
+    }
+
+    /// User page accesses `N_pa`.
+    pub fn user_page_accesses(&self) -> u64 {
+        self.user_page_reads + self.user_page_writes
+    }
+
+    /// Page-level write ratio `R_w`.
+    pub fn page_write_ratio(&self) -> f64 {
+        ratio(self.user_page_writes, self.user_page_accesses())
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let s = FtlStats {
+            lookups: 10,
+            hits: 7,
+            replacements: 4,
+            dirty_replacements: 1,
+            gc_updates: 5,
+            gc_hits: 5,
+            user_page_reads: 3,
+            user_page_writes: 7,
+            requests: 6,
+        };
+        assert!((s.hit_ratio() - 0.7).abs() < 1e-12);
+        assert!((s.dirty_replacement_prob() - 0.25).abs() < 1e-12);
+        assert!((s.gc_hit_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(s.user_page_accesses(), 10);
+        assert!((s.page_write_ratio() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ratios_are_zero() {
+        let s = FtlStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert_eq!(s.dirty_replacement_prob(), 0.0);
+        assert_eq!(s.gc_hit_ratio(), 0.0);
+    }
+}

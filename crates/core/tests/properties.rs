@@ -1,0 +1,294 @@
+//! Property tests over the FTL framework.
+//!
+//! * `LruList` against a `VecDeque` reference model.
+//! * S-FTL's incremental run accounting against a full recount.
+//! * Every demand-paging FTL against a shadow mapping oracle under random
+//!   workloads with GC pressure: all resolved mappings must point at the
+//!   valid flash page holding that LPN, no LPN may own two valid pages, and
+//!   cache budgets must hold at every step.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+use tpftl_core::driver;
+use tpftl_core::env::SsdEnv;
+use tpftl_core::ftl::{
+    AccessCtx, Cdftl, Dftl, FastFtl, Ftl, OptimalFtl, Sftl, TpFtl, TpftlConfig, Zftl,
+};
+use tpftl_core::lru::LruList;
+use tpftl_core::SsdConfig;
+
+// ---- LruList vs VecDeque model ----------------------------------------------
+
+#[derive(Debug, Clone)]
+enum LruOp {
+    PushMru(u32),
+    PushLru(u32),
+    TouchNth(usize),
+    RemoveNth(usize),
+    PopLru,
+}
+
+fn lru_op() -> impl Strategy<Value = LruOp> {
+    prop_oneof![
+        any::<u32>().prop_map(LruOp::PushMru),
+        any::<u32>().prop_map(LruOp::PushLru),
+        (0usize..64).prop_map(LruOp::TouchNth),
+        (0usize..64).prop_map(LruOp::RemoveNth),
+        Just(LruOp::PopLru),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lru_list_matches_vecdeque_model(ops in proptest::collection::vec(lru_op(), 1..200)) {
+        let mut list = LruList::new();
+        // Model: front = LRU, back = MRU; holds (value, handle).
+        let mut model: VecDeque<(u32, tpftl_core::lru::LruIdx)> = VecDeque::new();
+
+        for op in ops {
+            match op {
+                LruOp::PushMru(v) => {
+                    let idx = list.push_mru(v);
+                    model.push_back((v, idx));
+                }
+                LruOp::PushLru(v) => {
+                    let idx = list.push_lru(v);
+                    model.push_front((v, idx));
+                }
+                LruOp::TouchNth(n) => {
+                    if !model.is_empty() {
+                        let n = n % model.len();
+                        let (v, idx) = model.remove(n).expect("in range");
+                        list.touch(idx);
+                        model.push_back((v, idx));
+                    }
+                }
+                LruOp::RemoveNth(n) => {
+                    if !model.is_empty() {
+                        let n = n % model.len();
+                        let (v, idx) = model.remove(n).expect("in range");
+                        prop_assert_eq!(list.remove(idx), v);
+                    }
+                }
+                LruOp::PopLru => {
+                    let got = list.pop_lru();
+                    let want = model.pop_front().map(|(v, _)| v);
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(list.len(), model.len());
+            let order: Vec<u32> = list.iter_lru().map(|(_, v)| *v).collect();
+            let want: Vec<u32> = model.iter().map(|(v, _)| *v).collect();
+            prop_assert_eq!(order, want);
+        }
+    }
+}
+
+// ---- FTL mapping consistency under random workloads ---------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum FtlKind {
+    Optimal,
+    Dftl,
+    Sftl,
+    Cdftl,
+    Zftl,
+    Fast,
+    TpftlFull,
+    TpftlBare,
+    TpftlB,
+    TpftlRs,
+}
+
+fn build(kind: FtlKind, config: &SsdConfig) -> Box<dyn Ftl> {
+    match kind {
+        FtlKind::Optimal => Box::new(OptimalFtl::new(config)),
+        FtlKind::Dftl => Box::new(Dftl::new(config).expect("budget fits")),
+        FtlKind::Sftl => Box::new(Sftl::new(config).expect("budget fits")),
+        FtlKind::Cdftl => Box::new(Cdftl::new(config).expect("budget fits")),
+        FtlKind::Zftl => Box::new(Zftl::new(config, 4).expect("budget fits")),
+        FtlKind::Fast => Box::new(FastFtl::new(config, 3)),
+        FtlKind::TpftlFull => {
+            Box::new(TpFtl::new(config, TpftlConfig::full()).expect("budget fits"))
+        }
+        FtlKind::TpftlBare => {
+            Box::new(TpFtl::new(config, TpftlConfig::baseline()).expect("budget fits"))
+        }
+        FtlKind::TpftlB => {
+            Box::new(TpFtl::new(config, TpftlConfig::from_flags("b")).expect("budget fits"))
+        }
+        FtlKind::TpftlRs => {
+            Box::new(TpFtl::new(config, TpftlConfig::from_flags("rs")).expect("budget fits"))
+        }
+    }
+}
+
+fn ftl_kind() -> impl Strategy<Value = FtlKind> {
+    prop_oneof![
+        Just(FtlKind::Optimal),
+        Just(FtlKind::Dftl),
+        Just(FtlKind::Sftl),
+        Just(FtlKind::Cdftl),
+        Just(FtlKind::Zftl),
+        Just(FtlKind::Fast),
+        Just(FtlKind::TpftlFull),
+        Just(FtlKind::TpftlBare),
+        Just(FtlKind::TpftlB),
+        Just(FtlKind::TpftlRs),
+    ]
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    lpn_seed: u32,
+    len: u32,
+    write: bool,
+}
+
+fn access() -> impl Strategy<Value = Access> {
+    (any::<u32>(), 1u32..6, any::<bool>()).prop_map(|(lpn_seed, len, write)| Access {
+        lpn_seed,
+        len,
+        write,
+    })
+}
+
+proptest! {
+    // Each case runs a few hundred page accesses; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ftl_mapping_matches_flash_oracle(
+        kind in ftl_kind(),
+        prefill in prop_oneof![Just(0.0f64), Just(0.6f64)],
+        accesses in proptest::collection::vec(access(), 50..250),
+    ) {
+        // 8 MB logical space, hot region to force GC and evictions.
+        let mut config = SsdConfig::paper_default(8 << 20);
+        // Small cache: S-FTL/CDFTL need a whole page + slack.
+        config.cache_bytes = config.gtd_bytes() + 10 * 1024;
+        // The block-mapping FAST FTL does not support pre-fill.
+        config.prefill_frac = if matches!(kind, FtlKind::Fast) { 0.0 } else { prefill };
+        let logical_pages = config.logical_pages() as u32;
+        let mut env = SsdEnv::new(config.clone()).expect("env");
+        let mut ftl = build(kind, &config);
+        driver::bootstrap(ftl.as_mut(), &mut env).expect("bootstrap");
+
+        // Shadow oracle of what has been written.
+        let mut written = vec![false; logical_pages as usize];
+        if config.prefill_frac > 0.0 {
+            let n = (logical_pages as f64 * config.prefill_frac) as u32;
+            for lpn in 0..n {
+                written[lpn as usize] = true;
+            }
+        }
+
+        for a in &accesses {
+            // Concentrate in a hot quarter of the space to trigger GC.
+            let start = a.lpn_seed % (logical_pages / 4);
+            let len = a.len.min(logical_pages - start);
+            driver::serve_request(ftl.as_mut(), &mut env, start, len, a.write)
+                .expect("serve");
+            if a.write {
+                for lpn in start..start + len {
+                    written[lpn as usize] = true;
+                }
+            }
+        }
+
+        // Oracle 1: no LPN owns two valid data pages.
+        let mut owner = std::collections::HashMap::new();
+        for (ppn, tag, is_tp) in env.flash().scan_valid() {
+            if !is_tp {
+                prop_assert!(owner.insert(tag, ppn).is_none(), "LPN {} double-mapped", tag);
+            }
+        }
+        // Oracle 2: every written LPN resolves through the FTL to the
+        // page that physically holds it; unwritten LPNs resolve to None.
+        for lpn in 0..logical_pages {
+            let got = ftl
+                .translate(&mut env, lpn, &AccessCtx::single(false))
+                .expect("translate");
+            match (written[lpn as usize], got) {
+                (true, Some(ppn)) => {
+                    prop_assert_eq!(owner.get(&lpn).copied(), Some(ppn), "LPN {}", lpn);
+                }
+                (true, None) => prop_assert!(false, "written LPN {lpn} lost its mapping"),
+                (false, Some(_)) => prop_assert!(false, "unwritten LPN {lpn} is mapped"),
+                (false, None) => {}
+            }
+        }
+        // Oracle 3: lookup accounting is exact.
+        prop_assert_eq!(
+            env.stats.lookups,
+            accesses.iter().map(|a| {
+                let start = a.lpn_seed % (logical_pages / 4);
+                a.len.min(logical_pages - start) as u64
+            }).sum::<u64>() + logical_pages as u64
+        );
+    }
+}
+
+// ---- TPFTL-specific invariants ------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The cache budget holds after every single access, for arbitrary
+    /// budgets and multi-page requests (this is the invariant a make-room /
+    /// insert mismatch violates: the eviction pass can dismantle the target
+    /// TP node, whose re-creation must be re-accounted).
+    #[test]
+    fn tpftl_budget_invariant_under_prefetching(
+        budget in 64usize..2048,
+        flags in prop_oneof![Just("rsbc"), Just("rs"), Just("r"), Just("")],
+        accesses in proptest::collection::vec(access(), 50..300),
+    ) {
+        let mut config = SsdConfig::paper_default(8 << 20);
+        config.cache_bytes = config.gtd_bytes() + budget;
+        let logical_pages = config.logical_pages() as u32;
+        let mut env = SsdEnv::new(config.clone()).expect("env");
+        let mut ftl = TpFtl::new(&config, TpftlConfig::from_flags(flags)).expect("ftl");
+        driver::bootstrap(&mut ftl, &mut env).expect("bootstrap");
+        for a in &accesses {
+            let start = a.lpn_seed % logical_pages;
+            let len = a.len.min(logical_pages - start);
+            driver::serve_request(&mut ftl, &mut env, start, len, a.write).expect("serve");
+            prop_assert!(
+                ftl.cache_bytes_used() <= budget,
+                "budget {budget} exceeded: {} (flags {flags:?})",
+                ftl.cache_bytes_used()
+            );
+        }
+    }
+
+    /// One address translation performs at most one translation-page read
+    /// and at most one translation-page write (Section 4.5's guarantee).
+    #[test]
+    fn tpftl_at_most_one_read_and_update_per_translation(
+        accesses in proptest::collection::vec(access(), 30..150),
+    ) {
+        let mut config = SsdConfig::paper_default(8 << 20);
+        config.cache_bytes = config.gtd_bytes() + 256;
+        let logical_pages = config.logical_pages() as u32;
+        let mut env = SsdEnv::new(config.clone()).expect("env");
+        let mut ftl = TpFtl::new(&config, TpftlConfig::full()).expect("ftl");
+        driver::bootstrap(&mut ftl, &mut env).expect("bootstrap");
+
+        for a in &accesses {
+            let lpn = a.lpn_seed % logical_pages;
+            let before_r = env.flash().stats().of(tpftl_flash::OpPurpose::Translation).reads;
+            let before_w = env.flash().stats().of(tpftl_flash::OpPurpose::Translation).writes;
+            let _ = ftl
+                .translate(&mut env, lpn, &AccessCtx { is_write: a.write, remaining_in_request: a.len })
+                .expect("translate");
+            let dr = env.flash().stats().of(tpftl_flash::OpPurpose::Translation).reads - before_r;
+            let dw = env.flash().stats().of(tpftl_flash::OpPurpose::Translation).writes - before_w;
+            prop_assert!(dr <= 2, "one load plus at most one writeback read, got {dr}");
+            prop_assert!(dw <= 1, "at most one translation update, got {dw}");
+        }
+    }
+}

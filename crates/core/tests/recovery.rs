@@ -1,0 +1,142 @@
+//! Flush / unmount / remount integration tests: the full power-cycle story
+//! for every demand-paging FTL.
+
+use tpftl_core::driver;
+use tpftl_core::env::SsdEnv;
+use tpftl_core::ftl::{AccessCtx, Cdftl, Dftl, Ftl, Sftl, TpFtl, TpftlConfig};
+use tpftl_core::{gc, recovery, SsdConfig};
+
+fn config() -> SsdConfig {
+    let mut c = SsdConfig::paper_default(16 << 20);
+    c.cache_bytes = c.gtd_bytes() + 10 * 1024;
+    c
+}
+
+fn ftls(c: &SsdConfig) -> Vec<Box<dyn Ftl>> {
+    vec![
+        Box::new(Dftl::new(c).expect("budget")),
+        Box::new(TpFtl::new(c, TpftlConfig::full()).expect("budget")),
+        Box::new(TpFtl::new(c, TpftlConfig::baseline()).expect("budget")),
+        Box::new(Sftl::new(c).expect("budget")),
+        Box::new(Cdftl::new(c).expect("budget")),
+    ]
+}
+
+fn workload(ftl: &mut dyn Ftl, env: &mut SsdEnv, n: u32) -> Vec<u32> {
+    let mut written = Vec::new();
+    for i in 0..n {
+        let lpn = (i.wrapping_mul(2654435761) >> 12) % 4096;
+        let write = i % 4 != 3;
+        driver::serve_page_access(ftl, env, lpn, AccessCtx::single(write)).expect("serve");
+        if write {
+            written.push(lpn);
+        }
+    }
+    written.sort_unstable();
+    written.dedup();
+    written
+}
+
+/// After `flush_cache`, the on-flash mapping table alone describes every
+/// valid data page (the `verify` oracle), for each FTL.
+#[test]
+fn flush_persists_every_dirty_mapping() {
+    let c = config();
+    for mut ftl in ftls(&c) {
+        let mut env = SsdEnv::new(c.clone()).expect("env");
+        driver::bootstrap(ftl.as_mut(), &mut env).expect("bootstrap");
+        let written = workload(ftl.as_mut(), &mut env, 8_000);
+        recovery::flush_cache(ftl.as_mut(), &mut env)
+            .unwrap_or_else(|e| panic!("{} flush failed: {e}", ftl.name()));
+        let checked = recovery::verify(&env);
+        assert_eq!(
+            checked,
+            written.len() as u64,
+            "{}: persisted table must reference exactly the written pages",
+            ftl.name()
+        );
+    }
+}
+
+/// Full power cycle: run, flush, drop all RAM state, remount, and serve
+/// the data back with a *different* FTL (the on-flash format is shared).
+#[test]
+fn power_cycle_roundtrip_across_ftls() {
+    let c = config();
+    let mut env = SsdEnv::new(c.clone()).expect("env");
+    let mut tpftl = TpFtl::new(&c, TpftlConfig::full()).expect("budget");
+    driver::bootstrap(&mut tpftl, &mut env).expect("bootstrap");
+    let written = workload(&mut tpftl, &mut env, 10_000);
+    recovery::flush_cache(&mut tpftl, &mut env).expect("flush");
+
+    // Power cycle: only the flash array survives.
+    let flash = env.into_flash();
+    drop(tpftl);
+    let mut env2 = recovery::mount(flash, c.clone()).expect("mount");
+    recovery::verify(&env2);
+
+    // A cold DFTL mounts the same on-flash state.
+    let mut dftl = Dftl::new(&c).expect("budget");
+    for &lpn in &written {
+        gc::ensure_free(&mut dftl, &mut env2).expect("gc");
+        let ppn = dftl
+            .translate(&mut env2, lpn, &AccessCtx::single(false))
+            .expect("translate")
+            .unwrap_or_else(|| panic!("LPN {lpn} lost across the power cycle"));
+        env2.read_data_page(ppn, lpn).expect("consistent");
+    }
+    // And can keep writing.
+    for i in 0..2_000u32 {
+        driver::serve_page_access(&mut dftl, &mut env2, i % 4096, AccessCtx::single(true))
+            .expect("serve after remount");
+    }
+}
+
+/// Remount preserves wear counters (the manager re-seeds from the flash
+/// erase counts) and keeps GC operational.
+#[test]
+fn remount_preserves_wear_and_gc_works() {
+    let c = config();
+    let mut env = SsdEnv::new(c.clone()).expect("env");
+    let mut ftl = TpFtl::new(&c, TpftlConfig::full()).expect("budget");
+    driver::bootstrap(&mut ftl, &mut env).expect("bootstrap");
+    // Churn until GC has erased a fair number of blocks.
+    for i in 0..30_000u32 {
+        driver::serve_page_access(&mut ftl, &mut env, i % 1024, AccessCtx::single(true))
+            .expect("serve");
+    }
+    let erases_before = env.flash().total_erase_count();
+    assert!(erases_before > 0, "workload must have triggered GC");
+    recovery::flush_cache(&mut ftl, &mut env).expect("flush");
+
+    let flash = env.into_flash();
+    let mut env2 = recovery::mount(flash, c.clone()).expect("mount");
+    assert_eq!(env2.flash().total_erase_count(), erases_before);
+    // Keep writing through a fresh FTL: GC must keep functioning.
+    let mut ftl2 = TpFtl::new(&c, TpftlConfig::full()).expect("budget");
+    for i in 0..30_000u32 {
+        driver::serve_page_access(&mut ftl2, &mut env2, i % 1024, AccessCtx::single(true))
+            .expect("serve after remount");
+    }
+    assert!(env2.flash().total_erase_count() > erases_before);
+    recovery::flush_cache(&mut ftl2, &mut env2).expect("flush");
+    recovery::verify(&env2);
+}
+
+/// Flushing twice is idempotent: the second flush writes nothing.
+#[test]
+fn flush_is_idempotent() {
+    let c = config();
+    let mut env = SsdEnv::new(c.clone()).expect("env");
+    let mut ftl = TpFtl::new(&c, TpftlConfig::full()).expect("budget");
+    driver::bootstrap(&mut ftl, &mut env).expect("bootstrap");
+    let _ = workload(&mut ftl, &mut env, 5_000);
+    recovery::flush_cache(&mut ftl, &mut env).expect("first flush");
+    let writes = env.flash().stats().total_writes();
+    recovery::flush_cache(&mut ftl, &mut env).expect("second flush");
+    assert_eq!(
+        env.flash().stats().total_writes(),
+        writes,
+        "second flush is a no-op"
+    );
+}

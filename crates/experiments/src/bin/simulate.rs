@@ -1,0 +1,258 @@
+//! `simulate` — run one ad-hoc SSD simulation and print its report.
+//!
+//! ```text
+//! simulate [options]
+//!   --ftl NAME          dftl | tpftl | tpftl:FLAGS | sftl | cdftl | zftl |
+//!                       fast | blocklevel | optimal        (default tpftl)
+//!   --workload NAME     financial1|financial2|msr-ts|msr-src (default financial1)
+//!   --trace FILE        replay an SPC/MSR trace file instead of a preset
+//!   --requests N        synthetic request count              (default 200000)
+//!   --seed N            generator seed                       (default 2015)
+//!   --cache-bytes N     total mapping-cache budget incl. GTD
+//!   --cache-frac F      budget as a fraction of the full table
+//!   --prefill F         pre-written fraction of the logical space
+//!   --gc POLICY         greedy | cost-benefit | wear-aware:N (default greedy)
+//!   --buffer PAGES      host write buffer size (default none)
+//!   --json              emit the full RunReport as JSON
+//! ```
+
+use std::process::ExitCode;
+
+use tpftl_core::config::GcPolicy;
+use tpftl_core::ftl::{BlockLevelFtl, FastFtl, Ftl, TpftlConfig, Zftl};
+use tpftl_experiments::runner::FtlKind;
+use tpftl_sim::Ssd;
+use tpftl_trace::presets::Workload;
+use tpftl_trace::{parse, IoRequest};
+
+const USAGE: &str = "usage: simulate [--ftl NAME] [--workload NAME | --trace FILE]
+                [--requests N] [--seed N] [--cache-bytes N | --cache-frac F]
+                [--prefill F] [--gc POLICY] [--buffer PAGES] [--json]
+run `simulate --help` for details";
+
+struct Options {
+    ftl: String,
+    workload: Workload,
+    trace: Option<String>,
+    requests: usize,
+    seed: u64,
+    cache_bytes: Option<usize>,
+    cache_frac: Option<f64>,
+    prefill: Option<f64>,
+    gc: GcPolicy,
+    buffer: usize,
+    json: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut o = Options {
+        ftl: "tpftl".into(),
+        workload: Workload::Financial1,
+        trace: None,
+        requests: 200_000,
+        seed: 2015,
+        cache_bytes: None,
+        cache_frac: None,
+        prefill: None,
+        gc: GcPolicy::Greedy,
+        buffer: 0,
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match a.as_str() {
+            "--ftl" => o.ftl = value("--ftl")?,
+            "--workload" => {
+                o.workload = match value("--workload")?.as_str() {
+                    "financial1" => Workload::Financial1,
+                    "financial2" => Workload::Financial2,
+                    "msr-ts" => Workload::MsrTs,
+                    "msr-src" => Workload::MsrSrc,
+                    other => return Err(format!("unknown workload {other}")),
+                }
+            }
+            "--trace" => o.trace = Some(value("--trace")?),
+            "--requests" => {
+                o.requests = value("--requests")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--seed" => o.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--cache-bytes" => {
+                o.cache_bytes = Some(
+                    value("--cache-bytes")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--cache-frac" => {
+                o.cache_frac = Some(value("--cache-frac")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--prefill" => {
+                o.prefill = Some(value("--prefill")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--gc" => {
+                let v = value("--gc")?;
+                o.gc = match v.as_str() {
+                    "greedy" => GcPolicy::Greedy,
+                    "cost-benefit" => GcPolicy::CostBenefit,
+                    s if s.starts_with("wear-aware:") => GcPolicy::WearAware {
+                        max_wear_delta: s["wear-aware:".len()..]
+                            .parse()
+                            .map_err(|e| format!("{e}"))?,
+                    },
+                    other => return Err(format!("unknown GC policy {other}")),
+                }
+            }
+            "--buffer" => o.buffer = value("--buffer")?.parse().map_err(|e| format!("{e}"))?,
+            "--json" => o.json = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn build_ftl(name: &str, config: &tpftl_core::SsdConfig) -> Result<Box<dyn Ftl + Send>, String> {
+    let boxed: Box<dyn Ftl + Send> = match name {
+        "dftl" => FtlKind::Dftl.build(config).map_err(|e| e.to_string())?,
+        "tpftl" => FtlKind::Tpftl.build(config).map_err(|e| e.to_string())?,
+        "sftl" => FtlKind::Sftl.build(config).map_err(|e| e.to_string())?,
+        "cdftl" => FtlKind::Cdftl.build(config).map_err(|e| e.to_string())?,
+        "optimal" => FtlKind::Optimal.build(config).map_err(|e| e.to_string())?,
+        "blocklevel" => Box::new(BlockLevelFtl::new(config)),
+        "fast" => Box::new(FastFtl::with_defaults(config)),
+        "zftl" => Box::new(Zftl::with_defaults(config).map_err(|e| e.to_string())?),
+        s if s.starts_with("tpftl:") => {
+            let flags = &s["tpftl:".len()..];
+            let cfg = TpftlConfig::from_flags(if flags == "-" { "" } else { flags });
+            Box::new(tpftl_core::ftl::TpFtl::new(config, cfg).map_err(|e| e.to_string())?)
+        }
+        other => return Err(format!("unknown FTL {other}")),
+    };
+    Ok(boxed)
+}
+
+fn main() -> ExitCode {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("{msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Trace first (it determines the address space when present).
+    let trace: Vec<IoRequest> = match &o.trace {
+        Some(path) => {
+            let content = match std::fs::read_to_string(path) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match parse::parse_auto(&content) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot parse {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => o.workload.spec(o.requests).generate(o.seed),
+    };
+
+    let logical = match &o.trace {
+        Some(_) => {
+            let max_end = trace.iter().map(IoRequest::end).max().unwrap_or(1);
+            max_end.div_ceil(256 * 1024).max(16) * 256 * 1024
+        }
+        None => o.workload.address_bytes(),
+    };
+    let mut config = tpftl_core::SsdConfig::paper_default(logical);
+    if let Some(f) = o.cache_frac {
+        config = config.with_cache_fraction(f);
+    }
+    if let Some(b) = o.cache_bytes {
+        config.cache_bytes = b;
+    }
+    config.prefill_frac = o.prefill.unwrap_or(match (o.ftl.as_str(), o.workload) {
+        ("blocklevel" | "fast", _) => 0.0,
+        (_, Workload::Financial1 | Workload::Financial2) if o.trace.is_none() => 1.0,
+        _ => 0.0,
+    });
+    config.gc_policy = o.gc;
+
+    let ftl = match build_ftl(&o.ftl, &config) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ssd = match Ssd::new(ftl, config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot build SSD: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if o.buffer > 0 {
+        ssd = ssd.with_write_buffer(o.buffer);
+    }
+
+    let started = std::time::Instant::now();
+    let report = match ssd.run(trace) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if ssd.flush_buffer().is_err() {
+        eprintln!("warning: buffer flush failed");
+    }
+
+    if o.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serializable")
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!("ftl:                 {}", report.ftl);
+    println!(
+        "device:              {} MB, cache {} B",
+        config.logical_bytes >> 20,
+        config.cache_bytes
+    );
+    println!("requests:            {}", report.ftl_stats.requests);
+    println!(
+        "page accesses:       {}",
+        report.ftl_stats.user_page_accesses()
+    );
+    println!("hit ratio:           {:.2}%", report.hit_ratio() * 100.0);
+    println!(
+        "P(replace dirty):    {:.2}%",
+        report.dirty_replacement_prob() * 100.0
+    );
+    println!(
+        "translation R/W:     {} / {}",
+        report.translation_reads(),
+        report.translation_writes()
+    );
+    println!("write amplification: {:.3}", report.write_amplification());
+    println!("block erases:        {}", report.erase_count());
+    println!("avg response:        {:.1} us", report.avg_response_us);
+    if let Some(b) = ssd.buffer_stats() {
+        println!(
+            "write buffer:        {} absorbed, {} inserted, {} read hits",
+            b.write_absorbed, b.write_inserted, b.read_hits
+        );
+    }
+    println!("wall clock:          {:.2?}", started.elapsed());
+    ExitCode::SUCCESS
+}

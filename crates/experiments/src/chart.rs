@@ -1,0 +1,132 @@
+//! Minimal ASCII charts for terminal output of time series and curves.
+//!
+//! The paper's figures are plots; the harness persists the raw series as
+//! JSON and additionally renders a compact ASCII view so `repro`'s output
+//! is readable without further tooling.
+
+/// Renders `series` as a fixed-size line chart (rows × cols characters),
+/// with a y-axis label column. Points are bucketed along x and averaged.
+pub fn line_chart(title: &str, series: &[(f64, f64)], rows: usize, cols: usize) -> String {
+    let mut out = format!("  {title}\n");
+    if series.is_empty() || rows == 0 || cols == 0 {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let (x_min, x_max) = series
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(x, _)| {
+            (lo.min(x), hi.max(x))
+        });
+    // Bucket by x, average y per column.
+    let mut sums = vec![0.0f64; cols];
+    let mut counts = vec![0u32; cols];
+    let span = (x_max - x_min).max(f64::MIN_POSITIVE);
+    for &(x, y) in series {
+        let c = (((x - x_min) / span) * (cols - 1) as f64).round() as usize;
+        sums[c] += y;
+        counts[c] += 1;
+    }
+    let cells: Vec<Option<f64>> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(&s, &n)| (n > 0).then(|| s / n as f64))
+        .collect();
+    let (y_min, y_max) = cells
+        .iter()
+        .flatten()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &y| {
+            (lo.min(y), hi.max(y))
+        });
+    let y_span = (y_max - y_min).max(f64::MIN_POSITIVE);
+
+    let mut grid = vec![vec![' '; cols]; rows];
+    let mut prev_row: Option<usize> = None;
+    for (c, cell) in cells.iter().enumerate() {
+        let Some(y) = cell else {
+            prev_row = None;
+            continue;
+        };
+        let r = ((y - y_min) / y_span * (rows - 1) as f64).round() as usize;
+        let r = rows - 1 - r; // row 0 at the top
+        grid[r][c] = '*';
+        // Connect vertical gaps to the previous column.
+        if let Some(p) = prev_row {
+            let (lo, hi) = if p < r { (p, r) } else { (r, p) };
+            for row in grid.iter_mut().take(hi).skip(lo + 1) {
+                if row[c] == ' ' {
+                    row[c] = '|';
+                }
+            }
+        }
+        prev_row = Some(r);
+    }
+
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:>9.1}")
+        } else if i == rows - 1 {
+            format!("{y_min:>9.1}")
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&format!("  {label} |{}\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!(
+        "  {} +{}\n  {} {:<12.0}{}{:>12.0}\n",
+        " ".repeat(9),
+        "-".repeat(cols),
+        " ".repeat(9),
+        x_min,
+        " ".repeat(cols.saturating_sub(24)),
+        x_max,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_monotone_series() {
+        // One point per column, so bucket averaging is the identity.
+        let series: Vec<(f64, f64)> = (0..40).map(|i| (i as f64, i as f64 * 2.0)).collect();
+        let s = line_chart("ramp", &series, 8, 40);
+        assert!(s.contains("ramp"));
+        assert!(s.contains('*'));
+        // Max label on the first plotted row, min on the last.
+        assert!(s.contains("78.0"));
+        assert!(s.contains("0.0"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Title + 8 rows + axis + labels.
+        assert_eq!(lines.len(), 11);
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        assert!(line_chart("none", &[], 5, 20).contains("(no data)"));
+    }
+
+    #[test]
+    fn flat_series_does_not_divide_by_zero() {
+        let series = vec![(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)];
+        let s = line_chart("flat", &series, 4, 10);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn dips_are_visible() {
+        // A V-shape: the middle column must plot lower (larger row index)
+        // than the edges.
+        let series: Vec<(f64, f64)> = (0..60)
+            .map(|i| (i as f64, (i as f64 - 30.0).abs()))
+            .collect();
+        let s = line_chart("vee", &series, 10, 60);
+        let lines: Vec<&str> = s.lines().skip(1).take(10).collect();
+        let top_row = lines.first().expect("rows exist");
+        let bottom_row = lines.last().expect("rows exist");
+        // Edges reach the top row; the dip reaches the bottom row.
+        assert!(top_row.contains('*'));
+        assert!(bottom_row.contains('*'));
+    }
+}

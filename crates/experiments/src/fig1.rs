@@ -1,0 +1,133 @@
+//! Figure 1: distribution of entries in DFTL's mapping cache.
+//!
+//! (a) average number of cached entries per cached translation page,
+//! sampled every 10,000 user page accesses (the paper observes fewer than
+//! 150, mostly fewer than 90 — i.e. under 15 % of a 1024-entry page);
+//! (b) CDF of cached translation pages by the number of dirty entries they
+//! hold, for the three write-dominant workloads (53–71 % of pages hold more
+//! than one dirty entry; the mean is above 15).
+
+use serde::{Deserialize, Serialize};
+use tpftl_trace::presets::Workload;
+
+use crate::runner::{self, ExperimentOutput, FtlKind, Scale};
+
+/// Sampling interval in user page accesses (the paper's choice).
+pub const SAMPLE_INTERVAL: u64 = 10_000;
+
+/// Figure 1 measurements for one workload under DFTL.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Series {
+    /// Workload name.
+    pub workload: String,
+    /// Figure 1(a): (page_accesses, avg entries per cached TP) series.
+    pub avg_entries_series: Vec<(u64, f64)>,
+    /// Overall mean of the 1(a) series.
+    pub avg_entries_mean: f64,
+    /// Maximum of the 1(a) series.
+    pub avg_entries_max: f64,
+    /// Figure 1(b): CDF over dirty-entry counts 0..=50.
+    pub dirty_cdf: Vec<f64>,
+    /// Fraction of cached translation pages holding more than one dirty
+    /// entry (the paper: 53–71 % on write-dominant workloads).
+    pub frac_more_than_one_dirty: f64,
+    /// Mean dirty entries per cached translation page (paper: above 15).
+    pub mean_dirty_per_tp: f64,
+}
+
+/// Runs Figure 1 for all four workloads under DFTL.
+pub fn run(scale: Scale) -> ExperimentOutput {
+    let series = runner::run_parallel(Workload::ALL.to_vec(), |&w| {
+        let config = runner::device_config(w);
+        let (_, sampler) =
+            runner::run_one_sampled(FtlKind::Dftl, w, scale, &config, SAMPLE_INTERVAL)
+                .expect("simulation failed");
+        let avg_series: Vec<(u64, f64)> = sampler
+            .samples
+            .iter()
+            .map(|s| (s.page_accesses, s.avg_entries_per_tp()))
+            .collect();
+        let mean = if avg_series.is_empty() {
+            0.0
+        } else {
+            avg_series.iter().map(|(_, v)| v).sum::<f64>() / avg_series.len() as f64
+        };
+        let max = avg_series.iter().map(|(_, v)| *v).fold(0.0, f64::max);
+        let cdf = sampler.dirty_cdf();
+        Fig1Series {
+            workload: w.name().to_string(),
+            frac_more_than_one_dirty: 1.0 - cdf.get(1).copied().unwrap_or(1.0),
+            mean_dirty_per_tp: sampler.mean_dirty_per_tp(),
+            dirty_cdf: cdf,
+            avg_entries_series: avg_series,
+            avg_entries_mean: mean,
+            avg_entries_max: max,
+        }
+    });
+
+    let mut text =
+        String::from("Figure 1(a): avg cached entries per cached translation page (DFTL)\n");
+    for s_row in &series {
+        if s_row.avg_entries_series.len() >= 4 {
+            let pts: Vec<(f64, f64)> = s_row
+                .avg_entries_series
+                .iter()
+                .map(|&(x, y)| (x as f64, y))
+                .collect();
+            text.push_str(&crate::chart::line_chart(
+                &format!("{} (x = page accesses)", s_row.workload),
+                &pts,
+                6,
+                64,
+            ));
+        }
+    }
+    text.push_str(&format!(
+        "{:<12} {:>10} {:>10}   (paper: < 150 peak, < 90 most of the time)\n",
+        "workload", "mean", "max"
+    ));
+    for s in &series {
+        text.push_str(&format!(
+            "{:<12} {:>10.1} {:>10.1}\n",
+            s.workload, s.avg_entries_mean, s.avg_entries_max
+        ));
+    }
+    text.push_str("\nFigure 1(b): dirty entries per cached translation page (DFTL)\n");
+    text.push_str(&format!(
+        "{:<12} {:>14} {:>14}   (paper: 53-71% / >15 on write-dominant)\n",
+        "workload", ">1 dirty", "mean dirty"
+    ));
+    for s in &series {
+        text.push_str(&format!(
+            "{:<12} {:>13.1}% {:>14.1}\n",
+            s.workload,
+            s.frac_more_than_one_dirty * 100.0,
+            s.mean_dirty_per_tp
+        ));
+    }
+
+    ExperimentOutput {
+        id: "fig1".to_string(),
+        text,
+        json: serde_json::to_value(&series).expect("serializable"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_fig1() {
+        let out = run(Scale(0.0001));
+        let series: Vec<Fig1Series> = serde_json::from_value(out.json.clone()).unwrap();
+        assert_eq!(series.len(), 4);
+        for s in &series {
+            // CDF is monotone and ends at 1 (or 0 when no samples fired).
+            for w in s.dirty_cdf.windows(2) {
+                assert!(w[1] >= w[0] - 1e-12);
+            }
+        }
+        assert!(out.text.contains("Figure 1(b)"));
+    }
+}

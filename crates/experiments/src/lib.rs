@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each submodule reproduces one table/figure family; see DESIGN.md's
+//! per-experiment index for the mapping. The [`runner`] module provides the
+//! shared machinery: building (FTL, workload) pairs per the Section 5.1
+//! setup, running them in parallel, and persisting machine-readable results
+//! under `results/`.
+
+pub mod ablation;
+pub mod cachesweep;
+pub mod chart;
+pub mod extensions;
+pub mod fig1;
+pub mod fig10;
+pub mod fig2;
+pub mod fig6;
+pub mod models;
+pub mod runner;
+pub mod table2;
+pub mod table4;
+pub mod threshold;
+
+pub use runner::{ExperimentOutput, FtlKind, Scale};

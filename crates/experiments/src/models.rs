@@ -1,0 +1,119 @@
+//! Section 3.1 reproduction: evaluate the analytical models against the
+//! simulator's measured counters, per workload and FTL.
+
+use serde::{Deserialize, Serialize};
+use tpftl_models::{perf, wa, ModelParams, Timing};
+use tpftl_sim::RunReport;
+use tpftl_trace::presets::Workload;
+
+use crate::runner::{self, ExperimentOutput, FtlKind, Scale};
+
+/// Model-vs-simulation comparison for one (workload, FTL) run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelRow {
+    /// Workload name.
+    pub workload: String,
+    /// FTL name.
+    pub ftl: String,
+    /// The measured Table 1 parameters fed to the models.
+    pub params: ModelParams,
+    /// Eq. 13 prediction (an upper bound; see DESIGN.md).
+    pub wa_model: f64,
+    /// Simulator-measured write amplification.
+    pub wa_measured: f64,
+    /// Eq. 1 prediction of the per-access translation time (µs).
+    pub tat_model_us: f64,
+    /// Model prediction of total device time per page access (µs).
+    pub per_access_model_us: f64,
+    /// Measured device busy time per page access (µs).
+    pub per_access_measured_us: f64,
+}
+
+fn row(workload: Workload, ftl: FtlKind, scale: Scale) -> ModelRow {
+    let config = runner::device_config(workload);
+    let report = runner::run_one(ftl, workload, scale, &config).expect("simulation failed");
+    row_from_report(workload, &report)
+}
+
+/// Builds a comparison row from an existing report.
+pub fn row_from_report(workload: Workload, report: &RunReport) -> ModelRow {
+    let params = ModelParams {
+        hr: report.hit_ratio(),
+        prd: report.dirty_replacement_prob(),
+        rw: report.ftl_stats.page_write_ratio(),
+        hgcr: report.ftl_stats.gc_hit_ratio(),
+        vd: report.gc.vd_mean(),
+        vt: report.gc.vt_mean(),
+        np: 64.0,
+        npa: report.ftl_stats.user_page_accesses() as f64,
+    };
+    let timing = Timing::default();
+    let breakdown = perf::breakdown(&timing, &params);
+    let npa = params.npa.max(1.0);
+    ModelRow {
+        workload: workload.name().to_string(),
+        ftl: report.ftl.clone(),
+        params,
+        wa_model: if params.rw > 0.0 {
+            wa::write_amplification(&params)
+        } else {
+            0.0
+        },
+        wa_measured: report.write_amplification(),
+        tat_model_us: breakdown.tat_us,
+        per_access_model_us: breakdown.total_us(),
+        per_access_measured_us: report.flash.busy_us / npa,
+    }
+}
+
+/// Runs the model comparison for DFTL and TPFTL on every workload.
+pub fn run(scale: Scale) -> ExperimentOutput {
+    let jobs: Vec<(Workload, FtlKind)> = Workload::ALL
+        .iter()
+        .flat_map(|&w| [(w, FtlKind::Dftl), (w, FtlKind::Tpftl)])
+        .collect();
+    let rows = runner::run_parallel(jobs, |&(w, k)| row(w, k, scale));
+
+    let mut text = String::from(
+        "Section 3.1 models vs simulation (WA model is an upper bound: Eq. 3\n\
+         ignores GC batching, Eq. 7 ignores warm-up free blocks)\n",
+    );
+    text.push_str(&format!(
+        "{:<11} {:<12} {:>7} {:>7} {:>9} {:>9} {:>11} {:>11}\n",
+        "workload", "FTL", "Hr", "Prd", "WA model", "WA sim", "us/acc mod", "us/acc sim"
+    ));
+    for r in &rows {
+        text.push_str(&format!(
+            "{:<11} {:<12} {:>6.1}% {:>6.1}% {:>9.2} {:>9.2} {:>11.1} {:>11.1}\n",
+            r.workload,
+            r.ftl,
+            r.params.hr * 100.0,
+            r.params.prd * 100.0,
+            r.wa_model,
+            r.wa_measured,
+            r.per_access_model_us,
+            r.per_access_measured_us,
+        ));
+    }
+
+    ExperimentOutput {
+        id: "models".to_string(),
+        text,
+        json: serde_json::to_value(&rows).expect("serializable"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_models_table() {
+        let out = run(Scale(0.00002));
+        let rows: Vec<ModelRow> = serde_json::from_value(out.json.clone()).unwrap();
+        assert_eq!(rows.len(), 8);
+        for r in rows {
+            assert!(r.per_access_measured_us >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Shared experiment machinery: FTL construction, the Section 5.1 device
+//! setup per workload, a parallel run executor, and result persistence.
+
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use tpftl_core::ftl::{BlockLevelFtl, Cdftl, Dftl, Ftl, OptimalFtl, Sftl, TpFtl, TpftlConfig};
+use tpftl_core::{Result, SsdConfig};
+use tpftl_sim::{CacheSampler, RunReport, Ssd};
+use tpftl_trace::presets::Workload;
+
+/// Default RNG seed for workload generation (fixed for reproducibility).
+pub const SEED: u64 = 2015;
+
+/// Which FTL to construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FtlKind {
+    /// DFTL baseline.
+    Dftl,
+    /// Complete TPFTL (`rsbc`).
+    Tpftl,
+    /// A TPFTL ablation configuration (flags as in Figures 7/8).
+    TpftlVariant {
+        /// Technique monogram: subset of `rsbc` (empty = bare two-level).
+        r: bool,
+        /// Selective prefetching.
+        s: bool,
+        /// Batch-update replacement.
+        b: bool,
+        /// Clean-first replacement.
+        c: bool,
+    },
+    /// S-FTL baseline.
+    Sftl,
+    /// CDFTL baseline (the paper implements but does not plot it).
+    Cdftl,
+    /// Optimal page-level FTL (full table in RAM).
+    Optimal,
+    /// Block-level FTL (extension; not in the paper's plots).
+    BlockLevel,
+}
+
+impl FtlKind {
+    /// The paper's Figure 6 lineup.
+    pub const FIG6: [FtlKind; 4] = [
+        FtlKind::Dftl,
+        FtlKind::Tpftl,
+        FtlKind::Sftl,
+        FtlKind::Optimal,
+    ];
+
+    /// TPFTL ablation variant from a flag monogram.
+    pub fn variant(flags: &str) -> Self {
+        FtlKind::TpftlVariant {
+            r: flags.contains('r'),
+            s: flags.contains('s'),
+            b: flags.contains('b'),
+            c: flags.contains('c'),
+        }
+    }
+
+    /// Builds the FTL for `config`.
+    pub fn build(&self, config: &SsdConfig) -> Result<Box<dyn Ftl + Send>> {
+        Ok(match self {
+            FtlKind::Dftl => Box::new(Dftl::new(config)?),
+            FtlKind::Tpftl => Box::new(TpFtl::new(config, TpftlConfig::full())?),
+            FtlKind::TpftlVariant { r, s, b, c } => {
+                let cfg = TpftlConfig {
+                    request_prefetch: *r,
+                    selective_prefetch: *s,
+                    batch_update: *b,
+                    clean_first: *c,
+                    counter_threshold: 3,
+                };
+                Box::new(TpFtl::new(config, cfg)?)
+            }
+            FtlKind::Sftl => Box::new(Sftl::new(config)?),
+            FtlKind::Cdftl => Box::new(Cdftl::new(config)?),
+            FtlKind::Optimal => Box::new(OptimalFtl::new(config)),
+            FtlKind::BlockLevel => Box::new(BlockLevelFtl::new(config)),
+        })
+    }
+}
+
+/// Experiment scale: multiplies the per-workload default request counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scale(pub f64);
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale(1.0)
+    }
+}
+
+impl Scale {
+    /// Requests to generate for `workload` at this scale. Defaults follow
+    /// the paper's "millions of user page accesses": 2 M requests for the
+    /// Financial traces, 1 M for the (larger-request) MSR traces.
+    pub fn requests(&self, workload: Workload) -> usize {
+        let base = match workload {
+            Workload::Financial1 | Workload::Financial2 => 2_000_000.0,
+            // Large enough that the MSR volumes wrap into garbage
+            // collection, as the week-long original traces do.
+            Workload::MsrTs | Workload::MsrSrc => 2_500_000.0,
+        };
+        ((base * self.0) as usize).max(1_000)
+    }
+}
+
+/// The Section 5.1 device configuration for `workload`: SSD as large as the
+/// trace's address space, cache = block-level table + GTD, Financial
+/// volumes in full use (pre-filled), MSR volumes fresh.
+pub fn device_config(workload: Workload) -> SsdConfig {
+    let mut config = SsdConfig::paper_default(workload.address_bytes());
+    config.prefill_frac = match workload {
+        Workload::Financial1 | Workload::Financial2 => 1.0,
+        Workload::MsrTs | Workload::MsrSrc => 0.0,
+    };
+    config
+}
+
+/// One simulation: `kind` on `workload` at `scale` with `config`.
+pub fn run_one(
+    kind: FtlKind,
+    workload: Workload,
+    scale: Scale,
+    config: &SsdConfig,
+) -> Result<RunReport> {
+    let ftl = kind.build(config)?;
+    let mut ssd = Ssd::new(ftl, config.clone())?;
+    let spec = workload.spec(scale.requests(workload));
+    ssd.run(spec.iter(SEED))
+}
+
+/// Like [`run_one`] but with a cache sampler attached; returns the report
+/// and the collected samples.
+pub fn run_one_sampled(
+    kind: FtlKind,
+    workload: Workload,
+    scale: Scale,
+    config: &SsdConfig,
+    sample_interval: u64,
+) -> Result<(RunReport, CacheSampler)> {
+    let ftl = kind.build(config)?;
+    let mut ssd = Ssd::new(ftl, config.clone())?.with_sampler(CacheSampler::new(sample_interval));
+    let spec = workload.spec(scale.requests(workload));
+    let report = ssd.run(spec.iter(SEED))?;
+    let sampler = ssd.take_sampler().expect("sampler attached above");
+    Ok((report, sampler))
+}
+
+/// Runs a batch of jobs across `threads` worker threads (deterministic
+/// per-job results; order of the output matches the input).
+pub fn run_parallel<J, R, F>(jobs: Vec<J>, f: F) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    let n = jobs.len();
+    let queue: Arc<Mutex<VecDeque<(usize, J)>>> =
+        Arc::new(Mutex::new(jobs.into_iter().enumerate().collect()));
+    let results: Arc<Mutex<Vec<Option<R>>>> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let queue = Arc::clone(&queue);
+            let results = Arc::clone(&results);
+            let f = &f;
+            scope.spawn(move || loop {
+                let job = queue.lock().pop_front();
+                match job {
+                    Some((i, j)) => {
+                        let r = f(&j);
+                        results.lock()[i] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    Arc::try_unwrap(results)
+        .unwrap_or_else(|_| panic!("all workers joined"))
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+/// A rendered experiment: text for the terminal, JSON for `results/`.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Stable identifier (`fig6`, `table2`, ...), used as the file stem.
+    pub id: String,
+    /// Human-readable table(s), paper-style.
+    pub text: String,
+    /// Machine-readable result.
+    pub json: serde_json::Value,
+}
+
+impl ExperimentOutput {
+    /// Writes the JSON result under `dir` and returns the path.
+    pub fn persist(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(&path, serde_json::to_string_pretty(&self.json)?)?;
+        Ok(path)
+    }
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_requests() {
+        assert_eq!(Scale(1.0).requests(Workload::Financial1), 2_000_000);
+        assert_eq!(Scale(0.5).requests(Workload::MsrTs), 1_250_000);
+        assert_eq!(Scale(0.000001).requests(Workload::MsrTs), 1_000);
+    }
+
+    #[test]
+    fn ftl_kinds_build() {
+        let config = device_config(Workload::Financial1);
+        for kind in [
+            FtlKind::Dftl,
+            FtlKind::Tpftl,
+            FtlKind::variant("bc"),
+            FtlKind::Sftl,
+            FtlKind::Cdftl,
+            FtlKind::Optimal,
+        ] {
+            let ftl = kind.build(&config).unwrap();
+            assert!(!ftl.name().is_empty());
+        }
+        assert_eq!(
+            FtlKind::variant("rs").build(&config).unwrap().name(),
+            "TPFTL(rs)"
+        );
+    }
+
+    #[test]
+    fn parallel_runner_preserves_order() {
+        let jobs: Vec<u64> = (0..64).collect();
+        let out = run_parallel(jobs, |&j| j * 2);
+        assert_eq!(out, (0..64).map(|j| j * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tiny_end_to_end_run() {
+        let workload = Workload::Financial1;
+        let mut config = device_config(workload);
+        config.prefill_frac = 0.0; // keep the tiny test fast
+        let r = run_one(FtlKind::Tpftl, workload, Scale(0.0001), &config).unwrap();
+        assert_eq!(r.ftl_stats.requests, 1_000);
+        assert!(r.hit_ratio() > 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Table 4: workload characteristics of the (synthetic) traces.
+//!
+//! Generates each preset and verifies the analyzer's measurements against
+//! the paper's published numbers — the calibration contract of the trace
+//! substitution described in DESIGN.md.
+
+use serde::{Deserialize, Serialize};
+use tpftl_trace::presets::Workload;
+use tpftl_trace::{stats, TraceStats};
+
+use crate::runner::{ExperimentOutput, Scale, SEED};
+
+/// Paper-published Table 4 values for one workload.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PaperRow {
+    /// Write ratio.
+    pub write_ratio: f64,
+    /// Average request size in bytes.
+    pub avg_req_bytes: f64,
+    /// Sequential read fraction.
+    pub seq_read: f64,
+    /// Sequential write fraction.
+    pub seq_write: f64,
+}
+
+/// Paper values for `workload`.
+pub fn paper_row(workload: Workload) -> PaperRow {
+    match workload {
+        Workload::Financial1 => PaperRow {
+            write_ratio: 0.779,
+            avg_req_bytes: 3.5 * 1024.0,
+            seq_read: 0.015,
+            seq_write: 0.018,
+        },
+        Workload::Financial2 => PaperRow {
+            write_ratio: 0.18,
+            avg_req_bytes: 2.4 * 1024.0,
+            seq_read: 0.008,
+            seq_write: 0.005,
+        },
+        Workload::MsrTs => PaperRow {
+            write_ratio: 0.824,
+            avg_req_bytes: 9.0 * 1024.0,
+            seq_read: 0.472,
+            seq_write: 0.06,
+        },
+        Workload::MsrSrc => PaperRow {
+            write_ratio: 0.887,
+            avg_req_bytes: 7.2 * 1024.0,
+            seq_read: 0.226,
+            seq_write: 0.071,
+        },
+    }
+}
+
+/// Measured-vs-paper row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Workload name.
+    pub workload: String,
+    /// Paper's published characteristics.
+    pub paper: PaperRow,
+    /// Analyzer measurements on the generated trace.
+    pub measured: TraceStats,
+}
+
+/// Runs Table 4.
+pub fn run(scale: Scale) -> ExperimentOutput {
+    let rows: Vec<Table4Row> = Workload::ALL
+        .iter()
+        .map(|&w| {
+            let trace = w.spec(scale.requests(w).min(200_000)).generate(SEED);
+            Table4Row {
+                workload: w.name().to_string(),
+                paper: paper_row(w),
+                measured: stats::analyze(&trace),
+            }
+        })
+        .collect();
+
+    let mut text = String::from("Table 4: workload characteristics (measured vs paper)\n");
+    text.push_str(&format!(
+        "{:<12} {:>16} {:>18} {:>16} {:>16}\n",
+        "workload", "write ratio", "avg req (KB)", "seq read", "seq write"
+    ));
+    for r in &rows {
+        text.push_str(&format!(
+            "{:<12} {:>7.1}%/{:>5.1}% {:>8.1}/{:>6.1} {:>7.1}%/{:>5.1}% {:>7.1}%/{:>5.1}%\n",
+            r.workload,
+            r.measured.write_ratio * 100.0,
+            r.paper.write_ratio * 100.0,
+            r.measured.avg_req_bytes / 1024.0,
+            r.paper.avg_req_bytes / 1024.0,
+            r.measured.seq_read_frac * 100.0,
+            r.paper.seq_read * 100.0,
+            r.measured.seq_write_frac * 100.0,
+            r.paper.seq_write * 100.0,
+        ));
+    }
+    text.push_str("(each cell: measured/paper)\n");
+
+    ExperimentOutput {
+        id: "table4".to_string(),
+        text,
+        json: serde_json::to_value(&rows).expect("serializable"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_matches_paper_within_tolerance() {
+        let out = run(Scale(0.02));
+        let rows: Vec<Table4Row> = serde_json::from_value(out.json.clone()).unwrap();
+        for r in &rows {
+            assert!(
+                (r.measured.write_ratio - r.paper.write_ratio).abs() < 0.02,
+                "{r:?}"
+            );
+            assert!(
+                (r.measured.avg_req_bytes - r.paper.avg_req_bytes).abs() / r.paper.avg_req_bytes
+                    < 0.08,
+                "{r:?}"
+            );
+            assert!(
+                (r.measured.seq_read_frac - r.paper.seq_read).abs() < 0.04,
+                "{r:?}"
+            );
+            assert!(
+                (r.measured.seq_write_frac - r.paper.seq_write).abs() < 0.03,
+                "{r:?}"
+            );
+        }
+    }
+}

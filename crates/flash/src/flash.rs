@@ -1,0 +1,537 @@
+//! The flash device model proper.
+
+use std::collections::HashMap;
+
+use crate::{BlockId, FlashError, FlashGeometry, FlashStats, OpKind, OpPurpose, Ppn, Result};
+
+/// State of one physical page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageState {
+    /// Erased and programmable.
+    Free,
+    /// Programmed and holding live data.
+    Valid,
+    /// Programmed but superseded; reclaimable by GC.
+    Invalid,
+}
+
+/// Metadata returned by [`Flash::read_page`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageInfo {
+    /// The out-of-band tag stored at program time (LPN for data pages,
+    /// VTPN for translation pages).
+    pub tag: u32,
+    /// Whether the page carries a translation payload.
+    pub is_translation: bool,
+}
+
+/// A simulated NAND flash device.
+///
+/// See the crate-level documentation for the invariants enforced. All state
+/// transitions go through the public methods, which makes it possible to
+/// property-test the device against a simple oracle.
+///
+/// # Examples
+///
+/// ```
+/// use tpftl_flash::{Flash, FlashGeometry, OpPurpose, PageState};
+///
+/// let geom = FlashGeometry::paper_default(512 << 20, 0.15);
+/// let mut flash = Flash::new(geom).unwrap();
+/// let ppn = flash.next_free_ppn(0).unwrap();
+/// flash.program_page(ppn, 42, OpPurpose::HostData).unwrap();
+/// assert_eq!(flash.state(ppn).unwrap(), PageState::Valid);
+/// assert_eq!(flash.read_page(ppn, OpPurpose::HostData).unwrap().tag, 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Flash {
+    geom: FlashGeometry,
+    entries_per_tp: usize,
+    state: Vec<PageState>,
+    tag: Vec<u32>,
+    /// Per block: offset of the next page to program (`pages_per_block`
+    /// means the block is fully programmed).
+    write_ptr: Vec<u32>,
+    valid_count: Vec<u32>,
+    erase_count: Vec<u32>,
+    tp_payload: HashMap<Ppn, Box<[Ppn]>>,
+    stats: FlashStats,
+}
+
+impl Flash {
+    /// Creates a fully erased device with the given geometry.
+    ///
+    /// The number of mapping entries per translation page is
+    /// `page_bytes / 4` (4-byte PPNs, as in the paper: 1024 entries in a
+    /// 4 KB page).
+    pub fn new(geom: FlashGeometry) -> Result<Self> {
+        geom.validate()?;
+        let pages = geom.total_pages();
+        let blocks = geom.num_blocks;
+        Ok(Self {
+            entries_per_tp: geom.page_bytes / 4,
+            state: vec![PageState::Free; pages],
+            tag: vec![0; pages],
+            write_ptr: vec![0; blocks],
+            valid_count: vec![0; blocks],
+            erase_count: vec![0; blocks],
+            tp_payload: HashMap::new(),
+            stats: FlashStats::default(),
+            geom,
+        })
+    }
+
+    /// The device geometry.
+    #[inline]
+    pub fn geometry(&self) -> &FlashGeometry {
+        &self.geom
+    }
+
+    /// Number of mapping entries a translation page holds.
+    #[inline]
+    pub fn entries_per_translation_page(&self) -> usize {
+        self.entries_per_tp
+    }
+
+    /// Accumulated operation statistics.
+    #[inline]
+    pub fn stats(&self) -> &FlashStats {
+        &self.stats
+    }
+
+    /// Clears the operation statistics (op counts and busy time), leaving
+    /// device state and per-block wear counters untouched. Used after
+    /// formatting/pre-filling so measurements cover only the workload.
+    pub fn reset_stats(&mut self) {
+        self.stats = FlashStats::default();
+    }
+
+    fn check_ppn(&self, ppn: Ppn) -> Result<()> {
+        if (ppn as usize) < self.state.len() {
+            Ok(())
+        } else {
+            Err(FlashError::OutOfRange(ppn))
+        }
+    }
+
+    fn check_block(&self, block: BlockId) -> Result<()> {
+        if (block as usize) < self.geom.num_blocks {
+            Ok(())
+        } else {
+            Err(FlashError::BlockOutOfRange(block))
+        }
+    }
+
+    /// Current state of `ppn`.
+    pub fn state(&self, ppn: Ppn) -> Result<PageState> {
+        self.check_ppn(ppn)?;
+        Ok(self.state[ppn as usize])
+    }
+
+    /// Out-of-band tag of a valid page.
+    pub fn tag(&self, ppn: Ppn) -> Result<u32> {
+        self.check_ppn(ppn)?;
+        match self.state[ppn as usize] {
+            PageState::Valid => Ok(self.tag[ppn as usize]),
+            PageState::Free => Err(FlashError::ReadFree(ppn)),
+            PageState::Invalid => Err(FlashError::ReadInvalid(ppn)),
+        }
+    }
+
+    /// The next programmable page of `block`, or `None` if the block is
+    /// fully programmed.
+    pub fn next_free_ppn(&self, block: BlockId) -> Option<Ppn> {
+        self.check_block(block).ok()?;
+        let wp = self.write_ptr[block as usize] as usize;
+        if wp < self.geom.pages_per_block {
+            Some(self.geom.first_ppn(block) + wp as u32)
+        } else {
+            None
+        }
+    }
+
+    /// Number of free (programmable) pages left in `block`.
+    pub fn free_pages_in(&self, block: BlockId) -> Result<usize> {
+        self.check_block(block)?;
+        Ok(self.geom.pages_per_block - self.write_ptr[block as usize] as usize)
+    }
+
+    /// Number of valid pages in `block`.
+    pub fn valid_pages_in(&self, block: BlockId) -> Result<usize> {
+        self.check_block(block)?;
+        Ok(self.valid_count[block as usize] as usize)
+    }
+
+    /// Number of erase cycles `block` has sustained.
+    pub fn erase_count(&self, block: BlockId) -> Result<u64> {
+        self.check_block(block)?;
+        Ok(self.erase_count[block as usize] as u64)
+    }
+
+    /// Sum of erase counts across all blocks (equals total erase ops).
+    pub fn total_erase_count(&self) -> u64 {
+        self.erase_count.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Reads page `ppn`, accounting one page-read latency.
+    pub fn read_page(&mut self, ppn: Ppn, purpose: OpPurpose) -> Result<PageInfo> {
+        self.check_ppn(ppn)?;
+        match self.state[ppn as usize] {
+            PageState::Valid => {
+                self.stats.record(OpKind::Read, purpose, self.geom.read_us);
+                Ok(PageInfo {
+                    tag: self.tag[ppn as usize],
+                    is_translation: self.tp_payload.contains_key(&ppn),
+                })
+            }
+            PageState::Free => Err(FlashError::ReadFree(ppn)),
+            PageState::Invalid => Err(FlashError::ReadInvalid(ppn)),
+        }
+    }
+
+    /// Reads the mapping payload of translation page `ppn`, accounting one
+    /// page-read latency.
+    pub fn read_translation_payload(&mut self, ppn: Ppn, purpose: OpPurpose) -> Result<&[Ppn]> {
+        let info = self.read_page(ppn, purpose)?;
+        if !info.is_translation {
+            return Err(FlashError::NotATranslationPage(ppn));
+        }
+        // The read above verified the page is valid and holds a payload.
+        Ok(self.tp_payload.get(&ppn).expect("payload checked above"))
+    }
+
+    fn program_common(&mut self, ppn: Ppn, tag: u32, purpose: OpPurpose) -> Result<()> {
+        self.check_ppn(ppn)?;
+        if self.state[ppn as usize] != PageState::Free {
+            return Err(FlashError::ProgramNotFree(ppn));
+        }
+        let block = self.geom.block_of(ppn);
+        let expected = self.geom.first_ppn(block) + self.write_ptr[block as usize];
+        if ppn != expected {
+            return Err(FlashError::NonSequentialProgram {
+                requested: ppn,
+                expected,
+            });
+        }
+        self.state[ppn as usize] = PageState::Valid;
+        self.tag[ppn as usize] = tag;
+        self.write_ptr[block as usize] += 1;
+        self.valid_count[block as usize] += 1;
+        self.stats
+            .record(OpKind::Write, purpose, self.geom.write_us);
+        Ok(())
+    }
+
+    /// Programs a data page carrying `tag` (its LPN), accounting one
+    /// page-program latency.
+    pub fn program_page(&mut self, ppn: Ppn, tag: u32, purpose: OpPurpose) -> Result<()> {
+        self.program_common(ppn, tag, purpose)
+    }
+
+    /// Programs a page at an offset at or beyond the block's write pointer,
+    /// skipping intermediate pages. NAND permits programming pages of a
+    /// block in ascending order with gaps; skipped pages stay unprogrammed
+    /// until the next erase. Needed by block-mapping FTLs, whose page
+    /// position within a block is fixed by the logical offset.
+    pub fn program_page_at(&mut self, ppn: Ppn, tag: u32, purpose: OpPurpose) -> Result<()> {
+        self.check_ppn(ppn)?;
+        if self.state[ppn as usize] != PageState::Free {
+            return Err(FlashError::ProgramNotFree(ppn));
+        }
+        let block = self.geom.block_of(ppn);
+        let expected = self.geom.first_ppn(block) + self.write_ptr[block as usize];
+        if ppn < expected {
+            return Err(FlashError::NonSequentialProgram {
+                requested: ppn,
+                expected,
+            });
+        }
+        self.state[ppn as usize] = PageState::Valid;
+        self.tag[ppn as usize] = tag;
+        self.write_ptr[block as usize] = self.geom.offset_in_block(ppn) as u32 + 1;
+        self.valid_count[block as usize] += 1;
+        self.stats
+            .record(OpKind::Write, purpose, self.geom.write_us);
+        Ok(())
+    }
+
+    /// Programs a translation page for `vtpn` with `payload` (one PPN per
+    /// mapping entry), accounting one page-program latency.
+    pub fn program_translation_page(
+        &mut self,
+        ppn: Ppn,
+        vtpn: u32,
+        payload: Box<[Ppn]>,
+        purpose: OpPurpose,
+    ) -> Result<()> {
+        if payload.len() != self.entries_per_tp {
+            return Err(FlashError::BadPayloadLength {
+                got: payload.len(),
+                expected: self.entries_per_tp,
+            });
+        }
+        self.program_common(ppn, vtpn, purpose)?;
+        self.tp_payload.insert(ppn, payload);
+        Ok(())
+    }
+
+    /// Marks a valid page as invalid (superseded). This is a metadata-only
+    /// operation with no latency, as in real FTLs where invalidation only
+    /// touches RAM-resident block metadata.
+    pub fn invalidate(&mut self, ppn: Ppn) -> Result<()> {
+        self.check_ppn(ppn)?;
+        match self.state[ppn as usize] {
+            PageState::Valid => {
+                self.state[ppn as usize] = PageState::Invalid;
+                let block = self.geom.block_of(ppn);
+                self.valid_count[block as usize] -= 1;
+                // Stale translation payloads are unreachable in the model
+                // (reading invalid pages is an error), so drop them eagerly.
+                self.tp_payload.remove(&ppn);
+                Ok(())
+            }
+            PageState::Free => Err(FlashError::ReadFree(ppn)),
+            PageState::Invalid => Err(FlashError::ReadInvalid(ppn)),
+        }
+    }
+
+    /// Erases `block`, accounting one block-erase latency.
+    ///
+    /// All pages of the block must be `Free` or `Invalid`; the garbage
+    /// collector must have migrated valid pages beforehand.
+    pub fn erase_block(&mut self, block: BlockId, purpose: OpPurpose) -> Result<()> {
+        self.check_block(block)?;
+        if self.valid_count[block as usize] != 0 {
+            return Err(FlashError::EraseWithValidPages(block));
+        }
+        let first = self.geom.first_ppn(block) as usize;
+        for s in &mut self.state[first..first + self.geom.pages_per_block] {
+            *s = PageState::Free;
+        }
+        self.write_ptr[block as usize] = 0;
+        self.erase_count[block as usize] += 1;
+        self.stats
+            .record(OpKind::Erase, purpose, self.geom.erase_us);
+        Ok(())
+    }
+
+    /// Iterates over the valid pages of `block` as `(ppn, tag)` pairs.
+    pub fn valid_pages(&self, block: BlockId) -> impl Iterator<Item = (Ppn, u32)> + '_ {
+        let first = self.geom.first_ppn(block);
+        let n = self.geom.pages_per_block as u32;
+        (first..first + n)
+            .filter(|&ppn| self.state[ppn as usize] == PageState::Valid)
+            .map(|ppn| (ppn, self.tag[ppn as usize]))
+    }
+
+    /// Iterates over every valid page of the device as `(ppn, tag,
+    /// is_translation)`. Intended for consistency oracles in tests; does not
+    /// account any latency.
+    pub fn scan_valid(&self) -> impl Iterator<Item = (Ppn, u32, bool)> + '_ {
+        self.state
+            .iter()
+            .enumerate()
+            .filter(|&(_i, s)| *s == PageState::Valid)
+            .map(|(i, _s)| {
+                let ppn = i as Ppn;
+                (ppn, self.tag[i], self.tp_payload.contains_key(&ppn))
+            })
+    }
+
+    /// Direct payload access without read accounting; for oracles in tests.
+    pub fn peek_translation_payload(&self, ppn: Ppn) -> Option<&[Ppn]> {
+        self.tp_payload.get(&ppn).map(|b| &b[..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Flash {
+        // 4 blocks x 64 pages.
+        let geom = FlashGeometry {
+            page_bytes: 4096,
+            pages_per_block: 64,
+            num_blocks: 4,
+            read_us: 25.0,
+            write_us: 200.0,
+            erase_us: 1500.0,
+        };
+        Flash::new(geom).unwrap()
+    }
+
+    #[test]
+    fn program_read_invalidate_cycle() {
+        let mut f = small();
+        let ppn = f.next_free_ppn(0).unwrap();
+        assert_eq!(ppn, 0);
+        f.program_page(ppn, 7, OpPurpose::HostData).unwrap();
+        assert_eq!(f.state(ppn).unwrap(), PageState::Valid);
+        assert_eq!(f.read_page(ppn, OpPurpose::HostData).unwrap().tag, 7);
+        assert_eq!(f.valid_pages_in(0).unwrap(), 1);
+        f.invalidate(ppn).unwrap();
+        assert_eq!(f.state(ppn).unwrap(), PageState::Invalid);
+        assert_eq!(f.valid_pages_in(0).unwrap(), 0);
+        assert_eq!(
+            f.read_page(ppn, OpPurpose::HostData),
+            Err(FlashError::ReadInvalid(ppn))
+        );
+    }
+
+    #[test]
+    fn sequential_program_enforced() {
+        let mut f = small();
+        assert_eq!(
+            f.program_page(5, 0, OpPurpose::HostData),
+            Err(FlashError::NonSequentialProgram {
+                requested: 5,
+                expected: 0
+            })
+        );
+        f.program_page(0, 0, OpPurpose::HostData).unwrap();
+        f.program_page(1, 1, OpPurpose::HostData).unwrap();
+        assert_eq!(
+            f.program_page(3, 3, OpPurpose::HostData),
+            Err(FlashError::NonSequentialProgram {
+                requested: 3,
+                expected: 2
+            })
+        );
+        // Other blocks have independent write pointers.
+        f.program_page(f.geometry().first_ppn(2), 9, OpPurpose::HostData)
+            .unwrap();
+    }
+
+    #[test]
+    fn program_at_allows_skipping_forward_only() {
+        let mut f = small();
+        f.program_page_at(5, 50, OpPurpose::HostData).unwrap();
+        assert_eq!(f.state(5).unwrap(), PageState::Valid);
+        // Skipped pages remain free but are behind the write pointer now.
+        assert_eq!(f.state(3).unwrap(), PageState::Free);
+        assert_eq!(
+            f.program_page_at(3, 30, OpPurpose::HostData),
+            Err(FlashError::NonSequentialProgram {
+                requested: 3,
+                expected: 6
+            })
+        );
+        f.program_page_at(6, 60, OpPurpose::HostData).unwrap();
+        assert_eq!(f.next_free_ppn(0), Some(7));
+        // Erase recovers the skipped pages.
+        f.invalidate(5).unwrap();
+        f.invalidate(6).unwrap();
+        f.erase_block(0, OpPurpose::GcData).unwrap();
+        f.program_page(0, 1, OpPurpose::HostData).unwrap();
+    }
+
+    #[test]
+    fn erase_before_write_enforced() {
+        let mut f = small();
+        f.program_page(0, 0, OpPurpose::HostData).unwrap();
+        assert_eq!(
+            f.program_page(0, 0, OpPurpose::HostData),
+            Err(FlashError::ProgramNotFree(0))
+        );
+    }
+
+    #[test]
+    fn erase_requires_no_valid_pages() {
+        let mut f = small();
+        f.program_page(0, 0, OpPurpose::HostData).unwrap();
+        assert_eq!(
+            f.erase_block(0, OpPurpose::GcData),
+            Err(FlashError::EraseWithValidPages(0))
+        );
+        f.invalidate(0).unwrap();
+        f.erase_block(0, OpPurpose::GcData).unwrap();
+        assert_eq!(f.state(0).unwrap(), PageState::Free);
+        assert_eq!(f.erase_count(0).unwrap(), 1);
+        assert_eq!(f.free_pages_in(0).unwrap(), 64);
+        // Programmable again from the start.
+        f.program_page(0, 3, OpPurpose::HostData).unwrap();
+    }
+
+    #[test]
+    fn translation_payload_roundtrip() {
+        let mut f = small();
+        let payload: Box<[Ppn]> = vec![crate::PPN_NONE; 1024].into_boxed_slice();
+        f.program_translation_page(0, 12, payload, OpPurpose::Translation)
+            .unwrap();
+        let info = f.read_page(0, OpPurpose::Translation).unwrap();
+        assert!(info.is_translation);
+        assert_eq!(info.tag, 12);
+        let p = f
+            .read_translation_payload(0, OpPurpose::Translation)
+            .unwrap();
+        assert_eq!(p.len(), 1024);
+        // Data pages have no payload.
+        let mut f2 = small();
+        f2.program_page(0, 1, OpPurpose::HostData).unwrap();
+        assert_eq!(
+            f2.read_translation_payload(0, OpPurpose::Translation),
+            Err(FlashError::NotATranslationPage(0))
+        );
+    }
+
+    #[test]
+    fn bad_payload_length_rejected() {
+        let mut f = small();
+        let payload: Box<[Ppn]> = vec![0; 10].into_boxed_slice();
+        assert_eq!(
+            f.program_translation_page(0, 0, payload, OpPurpose::Translation),
+            Err(FlashError::BadPayloadLength {
+                got: 10,
+                expected: 1024
+            })
+        );
+    }
+
+    #[test]
+    fn invalidate_drops_payload() {
+        let mut f = small();
+        let payload: Box<[Ppn]> = vec![0; 1024].into_boxed_slice();
+        f.program_translation_page(0, 0, payload, OpPurpose::Translation)
+            .unwrap();
+        f.invalidate(0).unwrap();
+        assert!(f.peek_translation_payload(0).is_none());
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let mut f = small();
+        f.program_page(0, 0, OpPurpose::HostData).unwrap();
+        f.read_page(0, OpPurpose::HostData).unwrap();
+        f.invalidate(0).unwrap();
+        f.erase_block(0, OpPurpose::GcData).unwrap();
+        assert!((f.stats().busy_us - (200.0 + 25.0 + 1500.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scan_and_valid_pages_iterators() {
+        let mut f = small();
+        for i in 0..5u32 {
+            f.program_page(i, 100 + i, OpPurpose::HostData).unwrap();
+        }
+        f.invalidate(2).unwrap();
+        let v: Vec<_> = f.valid_pages(0).collect();
+        assert_eq!(v, vec![(0, 100), (1, 101), (3, 103), (4, 104)]);
+        assert_eq!(f.scan_valid().count(), 4);
+    }
+
+    #[test]
+    fn out_of_range_checked() {
+        let mut f = small();
+        let max = f.geometry().total_pages() as Ppn;
+        assert_eq!(
+            f.read_page(max, OpPurpose::HostData),
+            Err(FlashError::OutOfRange(max))
+        );
+        assert_eq!(
+            f.erase_block(4, OpPurpose::GcData),
+            Err(FlashError::BlockOutOfRange(4))
+        );
+        assert!(f.next_free_ppn(4).is_none());
+    }
+}

@@ -1,0 +1,177 @@
+//! Operation accounting.
+//!
+//! The paper's models (Table 1) distinguish flash operations by *why* they
+//! were issued: user data accesses, translation-page accesses during address
+//! translation, and both kinds again during garbage collection. The
+//! simulator needs exactly that split to compute `N_tw`, `N_md`, `N_dt`,
+//! `N_mt`, write amplification, and the response-time breakdown, so every
+//! flash operation carries an [`OpPurpose`].
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a physical flash operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Page read.
+    Read,
+    /// Page program.
+    Write,
+    /// Block erase.
+    Erase,
+}
+
+/// Why an operation was issued; mirrors the cost classes of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpPurpose {
+    /// Host-initiated user-data page access.
+    HostData,
+    /// Translation-page access during the address translation phase
+    /// (cache-miss loads and dirty-entry writebacks). Writes here are the
+    /// paper's `N_tw`.
+    Translation,
+    /// Valid-data-page migration during GC of a data block (`N_md`), and
+    /// erases of data blocks.
+    GcData,
+    /// Translation-page traffic caused by GC: updates for migrated data
+    /// pages (`N_dt`), migrations of valid translation pages (`N_mt`), and
+    /// erases of translation blocks.
+    GcTranslation,
+}
+
+impl OpPurpose {
+    /// All purposes, for iteration in reports.
+    pub const ALL: [OpPurpose; 4] = [
+        OpPurpose::HostData,
+        OpPurpose::Translation,
+        OpPurpose::GcData,
+        OpPurpose::GcTranslation,
+    ];
+}
+
+/// Read/write/erase counters for one [`OpPurpose`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PurposeCounts {
+    /// Number of page reads.
+    pub reads: u64,
+    /// Number of page programs.
+    pub writes: u64,
+    /// Number of block erases.
+    pub erases: u64,
+}
+
+/// Aggregate operation and latency accounting for a flash device.
+///
+/// `busy_us` is the cumulative device-busy time; the simulator reads it
+/// before and after serving a request to obtain the request's service time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlashStats {
+    host_data: PurposeCounts,
+    translation: PurposeCounts,
+    gc_data: PurposeCounts,
+    gc_translation: PurposeCounts,
+    /// Cumulative busy time of the device in microseconds.
+    pub busy_us: f64,
+}
+
+impl FlashStats {
+    /// Counters for `purpose`.
+    pub fn of(&self, purpose: OpPurpose) -> &PurposeCounts {
+        match purpose {
+            OpPurpose::HostData => &self.host_data,
+            OpPurpose::Translation => &self.translation,
+            OpPurpose::GcData => &self.gc_data,
+            OpPurpose::GcTranslation => &self.gc_translation,
+        }
+    }
+
+    fn of_mut(&mut self, purpose: OpPurpose) -> &mut PurposeCounts {
+        match purpose {
+            OpPurpose::HostData => &mut self.host_data,
+            OpPurpose::Translation => &mut self.translation,
+            OpPurpose::GcData => &mut self.gc_data,
+            OpPurpose::GcTranslation => &mut self.gc_translation,
+        }
+    }
+
+    /// Records one operation of `kind` for `purpose` taking `latency_us`.
+    pub(crate) fn record(&mut self, kind: OpKind, purpose: OpPurpose, latency_us: f64) {
+        let c = self.of_mut(purpose);
+        match kind {
+            OpKind::Read => c.reads += 1,
+            OpKind::Write => c.writes += 1,
+            OpKind::Erase => c.erases += 1,
+        }
+        self.busy_us += latency_us;
+    }
+
+    /// Total page writes across all purposes.
+    pub fn total_writes(&self) -> u64 {
+        OpPurpose::ALL.iter().map(|p| self.of(*p).writes).sum()
+    }
+
+    /// Total page reads across all purposes.
+    pub fn total_reads(&self) -> u64 {
+        OpPurpose::ALL.iter().map(|p| self.of(*p).reads).sum()
+    }
+
+    /// Total block erases across all purposes.
+    pub fn total_erases(&self) -> u64 {
+        OpPurpose::ALL.iter().map(|p| self.of(*p).erases).sum()
+    }
+
+    /// Translation-page reads from both the address-translation phase and GC.
+    pub fn translation_reads(&self) -> u64 {
+        self.translation.reads + self.gc_translation.reads
+    }
+
+    /// Translation-page writes from both the address-translation phase
+    /// (`N_tw`) and GC (`N_dt + N_mt`).
+    pub fn translation_writes(&self) -> u64 {
+        self.translation.writes + self.gc_translation.writes
+    }
+
+    /// Write amplification relative to `user_page_writes` host page writes
+    /// (Eq. 12). Returns `None` for read-only workloads.
+    pub fn write_amplification(&self, user_page_writes: u64) -> Option<f64> {
+        if user_page_writes == 0 {
+            return None;
+        }
+        Some(self.total_writes() as f64 / user_page_writes as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_purpose() {
+        let mut s = FlashStats::default();
+        s.record(OpKind::Read, OpPurpose::HostData, 25.0);
+        s.record(OpKind::Write, OpPurpose::Translation, 200.0);
+        s.record(OpKind::Write, OpPurpose::Translation, 200.0);
+        s.record(OpKind::Erase, OpPurpose::GcData, 1500.0);
+        s.record(OpKind::Write, OpPurpose::GcTranslation, 200.0);
+        assert_eq!(s.of(OpPurpose::HostData).reads, 1);
+        assert_eq!(s.of(OpPurpose::Translation).writes, 2);
+        assert_eq!(s.of(OpPurpose::GcData).erases, 1);
+        assert_eq!(s.total_writes(), 3);
+        assert_eq!(s.total_reads(), 1);
+        assert_eq!(s.total_erases(), 1);
+        assert_eq!(s.translation_writes(), 3);
+        assert!((s.busy_us - 2125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_amplification_basic() {
+        let mut s = FlashStats::default();
+        for _ in 0..10 {
+            s.record(OpKind::Write, OpPurpose::HostData, 200.0);
+        }
+        for _ in 0..5 {
+            s.record(OpKind::Write, OpPurpose::GcData, 200.0);
+        }
+        assert_eq!(s.write_amplification(10), Some(1.5));
+        assert_eq!(s.write_amplification(0), None);
+    }
+}

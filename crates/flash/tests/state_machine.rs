@@ -1,0 +1,188 @@
+//! Property tests: the flash device against a simple oracle state machine.
+//!
+//! The oracle tracks per-page states with none of the device's internal
+//! bookkeeping (write pointers, valid counts, payload store); random
+//! operation sequences must produce identical observable behaviour, and the
+//! device's derived counters must match recomputation from oracle state.
+
+use proptest::prelude::*;
+use tpftl_flash::{Flash, FlashError, FlashGeometry, OpPurpose, PageState, Ppn};
+
+const BLOCKS: usize = 4;
+const PAGES_PER_BLOCK: usize = 8;
+
+fn tiny_geom() -> FlashGeometry {
+    FlashGeometry {
+        page_bytes: 64, // 16 entries per translation page; keeps payloads small
+        pages_per_block: PAGES_PER_BLOCK,
+        num_blocks: BLOCKS,
+        read_us: 25.0,
+        write_us: 200.0,
+        erase_us: 1500.0,
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Program { block: u8, tag: u32 },
+    ProgramTranslation { block: u8, vtpn: u32 },
+    Read { ppn: u8 },
+    Invalidate { ppn: u8 },
+    Erase { block: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let pages = (BLOCKS * PAGES_PER_BLOCK) as u8;
+    prop_oneof![
+        (0..BLOCKS as u8, any::<u32>()).prop_map(|(block, tag)| Op::Program { block, tag }),
+        (0..BLOCKS as u8, any::<u32>())
+            .prop_map(|(block, vtpn)| Op::ProgramTranslation { block, vtpn }),
+        (0..pages).prop_map(|ppn| Op::Read { ppn }),
+        (0..pages).prop_map(|ppn| Op::Invalidate { ppn }),
+        (0..BLOCKS as u8).prop_map(|block| Op::Erase { block }),
+    ]
+}
+
+/// Oracle: plain per-page state plus tags, no clever bookkeeping.
+struct Oracle {
+    state: Vec<PageState>,
+    tag: Vec<u32>,
+    is_tp: Vec<bool>,
+    programmed: Vec<usize>, // per block, next offset
+    erases: u64,
+}
+
+impl Oracle {
+    fn new() -> Self {
+        Self {
+            state: vec![PageState::Free; BLOCKS * PAGES_PER_BLOCK],
+            tag: vec![0; BLOCKS * PAGES_PER_BLOCK],
+            is_tp: vec![false; BLOCKS * PAGES_PER_BLOCK],
+            programmed: vec![0; BLOCKS],
+            erases: 0,
+        }
+    }
+
+    fn valid_in(&self, block: usize) -> usize {
+        let first = block * PAGES_PER_BLOCK;
+        self.state[first..first + PAGES_PER_BLOCK]
+            .iter()
+            .filter(|s| **s == PageState::Valid)
+            .count()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn device_matches_oracle(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut flash = Flash::new(tiny_geom()).unwrap();
+        let entries = flash.entries_per_translation_page();
+        let mut oracle = Oracle::new();
+
+        for op in ops {
+            match op {
+                Op::Program { block, tag } => {
+                    let b = block as usize;
+                    let res = flash.next_free_ppn(block as u32);
+                    if oracle.programmed[b] < PAGES_PER_BLOCK {
+                        let ppn = res.expect("oracle says block has room");
+                        prop_assert_eq!(
+                            ppn as usize,
+                            b * PAGES_PER_BLOCK + oracle.programmed[b]
+                        );
+                        flash.program_page(ppn, tag, OpPurpose::HostData).unwrap();
+                        oracle.state[ppn as usize] = PageState::Valid;
+                        oracle.tag[ppn as usize] = tag;
+                        oracle.is_tp[ppn as usize] = false;
+                        oracle.programmed[b] += 1;
+                    } else {
+                        prop_assert!(res.is_none());
+                    }
+                }
+                Op::ProgramTranslation { block, vtpn } => {
+                    let b = block as usize;
+                    if oracle.programmed[b] < PAGES_PER_BLOCK {
+                        let ppn = flash.next_free_ppn(block as u32).unwrap();
+                        let payload: Box<[Ppn]> =
+                            vec![vtpn; entries].into_boxed_slice();
+                        flash
+                            .program_translation_page(ppn, vtpn, payload, OpPurpose::Translation)
+                            .unwrap();
+                        oracle.state[ppn as usize] = PageState::Valid;
+                        oracle.tag[ppn as usize] = vtpn;
+                        oracle.is_tp[ppn as usize] = true;
+                        oracle.programmed[b] += 1;
+                    }
+                }
+                Op::Read { ppn } => {
+                    let res = flash.read_page(ppn as u32, OpPurpose::HostData);
+                    match oracle.state[ppn as usize] {
+                        PageState::Valid => {
+                            let info = res.unwrap();
+                            prop_assert_eq!(info.tag, oracle.tag[ppn as usize]);
+                            prop_assert_eq!(info.is_translation, oracle.is_tp[ppn as usize]);
+                        }
+                        PageState::Free => {
+                            prop_assert_eq!(res, Err(FlashError::ReadFree(ppn as u32)));
+                        }
+                        PageState::Invalid => {
+                            prop_assert_eq!(res, Err(FlashError::ReadInvalid(ppn as u32)));
+                        }
+                    }
+                }
+                Op::Invalidate { ppn } => {
+                    let res = flash.invalidate(ppn as u32);
+                    if oracle.state[ppn as usize] == PageState::Valid {
+                        res.unwrap();
+                        oracle.state[ppn as usize] = PageState::Invalid;
+                    } else {
+                        prop_assert!(res.is_err());
+                    }
+                }
+                Op::Erase { block } => {
+                    let b = block as usize;
+                    let res = flash.erase_block(block as u32, OpPurpose::GcData);
+                    if oracle.valid_in(b) == 0 {
+                        res.unwrap();
+                        oracle.erases += 1;
+                        let first = b * PAGES_PER_BLOCK;
+                        for i in first..first + PAGES_PER_BLOCK {
+                            oracle.state[i] = PageState::Free;
+                            oracle.is_tp[i] = false;
+                        }
+                        oracle.programmed[b] = 0;
+                    } else {
+                        prop_assert_eq!(res, Err(FlashError::EraseWithValidPages(block as u32)));
+                    }
+                }
+            }
+
+            // Derived counters always agree with the oracle.
+            for b in 0..BLOCKS {
+                prop_assert_eq!(
+                    flash.valid_pages_in(b as u32).unwrap(),
+                    oracle.valid_in(b)
+                );
+                prop_assert_eq!(
+                    flash.free_pages_in(b as u32).unwrap(),
+                    PAGES_PER_BLOCK - oracle.programmed[b]
+                );
+            }
+        }
+
+        prop_assert_eq!(flash.total_erase_count(), oracle.erases);
+        prop_assert_eq!(flash.stats().total_erases(), oracle.erases);
+        // scan_valid agrees with the oracle's valid set.
+        let scanned: Vec<_> = flash.scan_valid().collect();
+        let expect: Vec<_> = oracle
+            .state
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == PageState::Valid)
+            .map(|(i, _)| (i as Ppn, oracle.tag[i], oracle.is_tp[i]))
+            .collect();
+        prop_assert_eq!(scanned, expect);
+    }
+}

@@ -1,0 +1,87 @@
+//! Operation-count equations (Eqs. 2, 3, 5, 7, 8, 9 of Section 3.1).
+
+use crate::ModelParams;
+
+/// Eq. 8: translation page writes during the address-translation phase,
+/// `N_tw = (1 − H_r) · P_rd · N_pa`.
+pub fn ntw(p: &ModelParams) -> f64 {
+    (1.0 - p.hr) * p.prd * p.npa
+}
+
+/// Eq. 7: data-block GC operations,
+/// `N_gcd = N_pa · R_w / (N_p − V_d)` (the SSD in full use).
+pub fn ngcd(p: &ModelParams) -> f64 {
+    p.npa * p.rw / (p.np - p.vd)
+}
+
+/// Eq. 2: data-page writes from migrating valid data pages,
+/// `N_md = N_gcd · V_d`.
+pub fn nmd(p: &ModelParams) -> f64 {
+    ngcd(p) * p.vd
+}
+
+/// Eq. 3: translation page writes from updating migrated pages' entries,
+/// `N_dt = N_gcd · V_d · (1 − H_gcr)`.
+pub fn ndt(p: &ModelParams) -> f64 {
+    ngcd(p) * p.vd * (1.0 - p.hgcr)
+}
+
+/// Eq. 9: translation-block GC operations,
+/// `N_gct = (N_tw + N_dt) / (N_p − V_t)`.
+pub fn ngct(p: &ModelParams) -> f64 {
+    (ntw(p) + ndt(p)) / (p.np - p.vt)
+}
+
+/// Eq. 5: translation-page writes from migrating valid translation pages,
+/// `N_mt = N_gct · V_t`.
+pub fn nmt(p: &ModelParams) -> f64 {
+    ngct(p) * p.vt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ModelParams {
+        ModelParams {
+            hr: 0.8,
+            prd: 0.5,
+            rw: 0.75,
+            hgcr: 0.6,
+            vd: 16.0,
+            vt: 32.0,
+            np: 64.0,
+            npa: 1_000_000.0,
+        }
+    }
+
+    #[test]
+    fn hand_computed_values() {
+        let p = params();
+        // Ntw = 0.2 * 0.5 * 1e6 = 100_000.
+        assert!((ntw(&p) - 100_000.0).abs() < 1e-6);
+        // Ngcd = 750_000 / 48 = 15_625.
+        assert!((ngcd(&p) - 15_625.0).abs() < 1e-6);
+        // Nmd = 15_625 * 16 = 250_000.
+        assert!((nmd(&p) - 250_000.0).abs() < 1e-6);
+        // Ndt = 250_000 * 0.4 = 100_000.
+        assert!((ndt(&p) - 100_000.0).abs() < 1e-6);
+        // Ngct = (100_000 + 100_000) / 32 = 6_250.
+        assert!((ngct(&p) - 6_250.0).abs() < 1e-6);
+        // Nmt = 6_250 * 32 = 200_000.
+        assert!((nmt(&p) - 200_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_cache_eliminates_translation_writes() {
+        let mut p = params();
+        p.hr = 1.0;
+        p.hgcr = 1.0;
+        assert_eq!(ntw(&p), 0.0);
+        assert_eq!(ndt(&p), 0.0);
+        assert_eq!(ngct(&p), 0.0);
+        assert_eq!(nmt(&p), 0.0);
+        // Data GC is workload-driven and remains.
+        assert!(ngcd(&p) > 0.0);
+    }
+}

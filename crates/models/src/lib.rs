@@ -1,0 +1,92 @@
+#![warn(missing_docs)]
+
+//! The analytical models of Section 3.1 of the TPFTL paper.
+//!
+//! Two models quantify how address translation in a demand-based
+//! page-level FTL costs performance and lifetime:
+//!
+//! * the **performance model** — Equations 1–11: the average time of an
+//!   address translation ([`perf::tat`]) and the average per-access time
+//!   spent collecting data blocks ([`perf::tgcd`], Eq. 10) and translation
+//!   blocks ([`perf::tgct`], Eq. 11);
+//! * the **write-amplification model** — Equations 12–13
+//!   ([`wa::write_amplification`]), composed exactly from the operation
+//!   counts of Equations 2–9 ([`counts`]).
+//!
+//! Both models conclude the same thing (the paper's motivation): the extra
+//! cost is governed by the cache hit ratio `H_r` and the probability of
+//! replacing a dirty entry `P_rd` — the two quantities TPFTL attacks.
+//!
+//! The structs mirror Table 1's symbols; the integration tests validate the
+//! models against the simulator's measured counters.
+
+use serde::{Deserialize, Serialize};
+
+pub mod counts;
+pub mod perf;
+pub mod wa;
+
+/// Flash timing parameters (Table 1's `T_fr`, `T_fw`, `T_fe`; defaults per
+/// Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Timing {
+    /// Page read latency `T_fr` in µs.
+    pub read_us: f64,
+    /// Page write latency `T_fw` in µs.
+    pub write_us: f64,
+    /// Block erase latency `T_fe` in µs.
+    pub erase_us: f64,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Self {
+            read_us: 25.0,
+            write_us: 200.0,
+            erase_us: 1500.0,
+        }
+    }
+}
+
+/// Workload- and device-dependent model inputs (Table 1 symbols).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Cache hit ratio of address translation, `H_r`.
+    pub hr: f64,
+    /// Probability of replacing a dirty entry, `P_rd`.
+    pub prd: f64,
+    /// Page-level write ratio, `R_w`.
+    pub rw: f64,
+    /// GC hit ratio of migrated pages' entries, `H_gcr`.
+    pub hgcr: f64,
+    /// Mean valid pages in collected data blocks, `V_d`.
+    pub vd: f64,
+    /// Mean valid pages in collected translation blocks, `V_t`.
+    pub vt: f64,
+    /// Pages per flash block, `N_p`.
+    pub np: f64,
+    /// User page accesses in the workload, `N_pa`.
+    pub npa: f64,
+}
+
+impl ModelParams {
+    /// Validates that every parameter is in its mathematical domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-domain values (a misuse, not a runtime condition).
+    pub fn assert_valid(&self) {
+        for (name, p) in [
+            ("hr", self.hr),
+            ("prd", self.prd),
+            ("rw", self.rw),
+            ("hgcr", self.hgcr),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name}={p} out of [0,1]");
+        }
+        assert!(self.np > 0.0, "np must be positive");
+        assert!(self.vd >= 0.0 && self.vd < self.np, "vd must be in [0, np)");
+        assert!(self.vt >= 0.0 && self.vt < self.np, "vt must be in [0, np)");
+        assert!(self.npa >= 0.0, "npa must be non-negative");
+    }
+}

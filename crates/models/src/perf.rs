@@ -1,0 +1,160 @@
+//! The performance model (Eqs. 1, 4/10, 6/11 of Section 3.1).
+
+use crate::{counts, ModelParams, Timing};
+
+/// Eq. 1: average time of an LPN-to-PPN address translation,
+/// `T_at = (1 − H_r) · [T_fr + P_rd · (T_fr + T_fw)]`.
+pub fn tat(t: &Timing, p: &ModelParams) -> f64 {
+    (1.0 - p.hr) * (t.read_us + p.prd * (t.read_us + t.write_us))
+}
+
+/// Eq. 10 (= Eq. 4 with Eq. 7): average time of collecting data blocks per
+/// user page access,
+/// `T_gcd = R_w · [V_d · (2 − H_gcr) · (T_fr + T_fw) + T_fe] / (N_p − V_d)`.
+pub fn tgcd(t: &Timing, p: &ModelParams) -> f64 {
+    p.rw * (p.vd * (2.0 - p.hgcr) * (t.read_us + t.write_us) + t.erase_us) / (p.np - p.vd)
+}
+
+/// Eq. 11 (= Eq. 6 with Eqs. 3, 8, 9): average time of collecting
+/// translation blocks per user page access.
+pub fn tgct(t: &Timing, p: &ModelParams) -> f64 {
+    ((1.0 - p.hr) * p.prd + p.rw * p.vd * (1.0 - p.hgcr) / (p.np - p.vd))
+        * (p.vt * (t.read_us + t.write_us) + t.erase_us)
+        / (p.np - p.vt)
+}
+
+/// Full per-page-access time breakdown predicted by the model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfBreakdown {
+    /// Address translation time (Eq. 1).
+    pub tat_us: f64,
+    /// User page access time (`R_w · T_fw + (1 − R_w) · T_fr`).
+    pub user_us: f64,
+    /// Data-block GC time per access (Eq. 10).
+    pub tgcd_us: f64,
+    /// Translation-block GC time per access (Eq. 11).
+    pub tgct_us: f64,
+}
+
+impl PerfBreakdown {
+    /// Total predicted device time per user page access.
+    pub fn total_us(&self) -> f64 {
+        self.tat_us + self.user_us + self.tgcd_us + self.tgct_us
+    }
+
+    /// Fraction of the total that is address-translation overhead (direct
+    /// plus translation-block GC) — the cost TPFTL removes.
+    pub fn translation_overhead_frac(&self) -> f64 {
+        if self.total_us() == 0.0 {
+            0.0
+        } else {
+            (self.tat_us + self.tgct_us) / self.total_us()
+        }
+    }
+}
+
+/// Evaluates the complete performance model.
+pub fn breakdown(t: &Timing, p: &ModelParams) -> PerfBreakdown {
+    p.assert_valid();
+    PerfBreakdown {
+        tat_us: tat(t, p),
+        user_us: p.rw * t.write_us + (1.0 - p.rw) * t.read_us,
+        tgcd_us: tgcd(t, p),
+        tgct_us: tgct(t, p),
+    }
+}
+
+/// Consistency check used by tests: Eq. 10 equals Eq. 4 evaluated from the
+/// operation counts, and Eq. 11 equals Eq. 6 likewise.
+pub fn tgcd_from_counts(t: &Timing, p: &ModelParams) -> f64 {
+    let ngcd = counts::ngcd(p);
+    ngcd * (p.vd * (2.0 - p.hgcr) * (t.read_us + t.write_us) + t.erase_us) / p.npa
+}
+
+/// Eq. 6 evaluated from Eq. 5/9 counts.
+pub fn tgct_from_counts(t: &Timing, p: &ModelParams) -> f64 {
+    let ngct = counts::ngct(p);
+    ngct * (p.vt * (t.read_us + t.write_us) + t.erase_us) / p.npa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ModelParams {
+        ModelParams {
+            hr: 0.7,
+            prd: 0.4,
+            rw: 0.779,
+            hgcr: 0.5,
+            vd: 20.0,
+            vt: 24.0,
+            np: 64.0,
+            npa: 2_000_000.0,
+        }
+    }
+
+    #[test]
+    fn eq1_hand_computed() {
+        let t = Timing::default();
+        let p = params();
+        // Tat = 0.3 * (25 + 0.4 * 225) = 0.3 * 115 = 34.5.
+        assert!((tat(&t, &p) - 34.5).abs() < 1e-9);
+        // A perfect cache translates for free.
+        let perfect = ModelParams { hr: 1.0, ..p };
+        assert_eq!(tat(&t, &perfect), 0.0);
+    }
+
+    #[test]
+    fn closed_forms_match_count_compositions() {
+        let t = Timing::default();
+        let p = params();
+        assert!((tgcd(&t, &p) - tgcd_from_counts(&t, &p)).abs() < 1e-9);
+        assert!((tgct(&t, &p) - tgct_from_counts(&t, &p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let t = Timing::default();
+        let p = params();
+        let b = breakdown(&t, &p);
+        assert!(b.total_us() > b.user_us);
+        assert!(b.translation_overhead_frac() > 0.0);
+        assert!(b.translation_overhead_frac() < 1.0);
+    }
+
+    #[test]
+    fn monotone_in_hit_ratio() {
+        // Higher Hr -> strictly less address-translation cost.
+        let t = Timing::default();
+        let mut prev = f64::INFINITY;
+        for hr in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let p = ModelParams { hr, ..params() };
+            let cost = tat(&t, &p) + tgct(&t, &p);
+            assert!(cost < prev);
+            prev = cost;
+        }
+    }
+
+    #[test]
+    fn monotone_in_prd() {
+        let t = Timing::default();
+        let mut prev = -1.0;
+        for prd in [0.0, 0.3, 0.6, 0.9] {
+            let p = ModelParams { prd, ..params() };
+            let cost = tat(&t, &p) + tgct(&t, &p);
+            assert!(cost > prev);
+            prev = cost;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn invalid_params_rejected() {
+        let p = ModelParams {
+            hr: 1.5,
+            ..params()
+        };
+        let _ = breakdown(&Timing::default(), &p);
+    }
+}

@@ -1,0 +1,111 @@
+//! The write-amplification model (Eqs. 12–13 of Section 3.1).
+
+use crate::{counts, ModelParams};
+
+/// Eq. 12/13: overall write amplification,
+/// `A = (N_pa·R_w + N_tw + N_md + N_dt + N_mt) / (N_pa·R_w)`,
+/// composed exactly from the Eq. 2–9 operation counts.
+///
+/// # Panics
+///
+/// Panics if the workload is read-only (`R_w = 0`), for which the paper's
+/// model is undefined.
+pub fn write_amplification(p: &ModelParams) -> f64 {
+    p.assert_valid();
+    assert!(
+        p.rw > 0.0,
+        "write amplification is undefined for read-only workloads"
+    );
+    let user_writes = p.npa * p.rw;
+    1.0 + (counts::ntw(p) + counts::nmd(p) + counts::ndt(p) + counts::nmt(p)) / user_writes
+}
+
+/// The closed form the paper prints as Eq. 13; equal to
+/// [`write_amplification`] (verified by tests).
+pub fn write_amplification_closed_form(p: &ModelParams) -> f64 {
+    p.assert_valid();
+    assert!(
+        p.rw > 0.0,
+        "write amplification is undefined for read-only workloads"
+    );
+    1.0 + (1.0 - p.hr) * p.prd * p.np / ((p.np - p.vt) * p.rw)
+        + (1.0 + (1.0 - p.hgcr) * p.np / (p.np - p.vt)) * p.vd / (p.np - p.vd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ModelParams {
+        ModelParams {
+            hr: 0.65,
+            prd: 0.55,
+            rw: 0.779,
+            hgcr: 0.45,
+            vd: 22.0,
+            vt: 30.0,
+            np: 64.0,
+            npa: 1_000_000.0,
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_composition() {
+        for hr in [0.0, 0.3, 0.9] {
+            for prd in [0.0, 0.5, 1.0] {
+                for hgcr in [0.0, 0.6, 1.0] {
+                    let p = ModelParams {
+                        hr,
+                        prd,
+                        hgcr,
+                        ..params()
+                    };
+                    let a = write_amplification(&p);
+                    let c = write_amplification_closed_form(&p);
+                    assert!(
+                        (a - c).abs() < 1e-9,
+                        "hr={hr} prd={prd} hgcr={hgcr}: {a} vs {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_cache_and_gc_gives_unity() {
+        let p = ModelParams {
+            hr: 1.0,
+            prd: 0.0,
+            hgcr: 1.0,
+            vd: 0.0,
+            vt: 0.0,
+            ..params()
+        };
+        assert!((write_amplification(&p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wa_decreases_with_hit_ratio_and_increases_with_prd() {
+        let mut prev = f64::INFINITY;
+        for hr in [0.0, 0.5, 1.0] {
+            let a = write_amplification(&ModelParams { hr, ..params() });
+            assert!(a < prev);
+            prev = a;
+        }
+        let mut prev = -1.0;
+        for prd in [0.0, 0.5, 1.0] {
+            let a = write_amplification(&ModelParams { prd, ..params() });
+            assert!(a > prev);
+            prev = a;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn read_only_rejected() {
+        let _ = write_amplification(&ModelParams {
+            rw: 0.0,
+            ..params()
+        });
+    }
+}

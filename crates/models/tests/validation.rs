@@ -1,0 +1,153 @@
+//! Model-vs-simulation validation (the Section 3.1 contract).
+//!
+//! Run the simulator, extract the measured Table 1 parameters (`H_r`,
+//! `P_rd`, `R_w`, `H_gcr`, `V_d`, `V_t`), plug them into the analytical
+//! models, and check the models' predictions against the simulator's own
+//! counters.
+//!
+//! Two of the equations are exact identities on the measured counters and
+//! must agree tightly (Eq. 8's `N_tw`, Eq. 5/9's `N_mt`/`N_gct`). Two are
+//! deliberate upper bounds: Eq. 3 charges one translation-page update per
+//! GC miss although DFTL batches misses sharing a translation page, and
+//! Eq. 7's "SSD in full use" steady state ignores the warm-up free blocks
+//! the over-provisioning provides — the paper uses the model to show what
+//! overhead address translation *can* incur, so the simulator must come in
+//! at or below it.
+
+use tpftl_core::ftl::{Dftl, TpFtl, TpftlConfig};
+use tpftl_core::SsdConfig;
+use tpftl_flash::OpPurpose;
+use tpftl_models::{counts, wa, ModelParams};
+use tpftl_sim::{RunReport, Ssd};
+use tpftl_trace::presets::Workload;
+
+fn run(workload: Workload, dftl: bool, requests: usize) -> RunReport {
+    let mut config = SsdConfig::paper_default(workload.address_bytes());
+    config.prefill_frac = 1.0;
+    let spec = workload.spec(requests);
+    if dftl {
+        let ftl = Dftl::new(&config).unwrap();
+        Ssd::new(ftl, config).unwrap().run(spec.iter(7)).unwrap()
+    } else {
+        let ftl = TpFtl::new(&config, TpftlConfig::full()).unwrap();
+        Ssd::new(ftl, config).unwrap().run(spec.iter(7)).unwrap()
+    }
+}
+
+fn params_from(report: &RunReport) -> ModelParams {
+    ModelParams {
+        hr: report.hit_ratio(),
+        prd: report.dirty_replacement_prob(),
+        rw: report.ftl_stats.page_write_ratio(),
+        hgcr: report.ftl_stats.gc_hit_ratio(),
+        vd: report.gc.vd_mean(),
+        vt: report.gc.vt_mean(),
+        np: 64.0,
+        npa: report.ftl_stats.user_page_accesses() as f64,
+    }
+}
+
+/// Eq. 8 is a near-identity on the simulator's counters for DFTL (every
+/// dirty replacement writes exactly one translation page); the small slack
+/// covers the warm-up phase before the cache is full.
+#[test]
+fn eq8_ntw_matches_dftl_simulation() {
+    let report = run(Workload::Financial1, true, 150_000);
+    let p = params_from(&report);
+    let predicted = counts::ntw(&p);
+    let measured = report.ntw() as f64;
+    let rel = (predicted - measured).abs() / measured.max(1.0);
+    assert!(
+        rel < 0.06,
+        "Ntw: model {predicted:.0} vs sim {measured:.0} (rel {rel:.3})"
+    );
+}
+
+/// Eqs. 5/9 are identities given the measured `N_tw + N_dt`: the number of
+/// translation-block GC operations and migrations they predict must match
+/// the simulator's direct counts closely.
+#[test]
+fn eq9_eq5_translation_gc_identities() {
+    let report = run(Workload::Financial1, true, 60_000);
+    let vt = report.gc.vt_mean();
+    let ntw = report.flash.of(OpPurpose::Translation).writes as f64;
+    let gct_writes = report.flash.of(OpPurpose::GcTranslation).writes as f64;
+    let nmt = report.gc.trans_pages_migrated as f64;
+    let ndt = gct_writes - nmt;
+    let predicted_ngct = (ntw + ndt) / (64.0 - vt);
+    let measured_ngct = report.gc.trans_victims as f64;
+    let rel = (predicted_ngct - measured_ngct).abs() / measured_ngct.max(1.0);
+    assert!(
+        rel < 0.05,
+        "Ngct: model {predicted_ngct:.0} vs sim {measured_ngct:.0} (rel {rel:.3})"
+    );
+    let predicted_nmt = predicted_ngct * vt;
+    let rel = (predicted_nmt - nmt).abs() / nmt.max(1.0);
+    assert!(
+        rel < 0.05,
+        "Nmt: model {predicted_nmt:.0} vs sim {nmt:.0} (rel {rel:.3})"
+    );
+}
+
+/// Eq. 3 upper-bounds `N_dt`: DFTL batches GC misses sharing a translation
+/// page, so the measured updates are at most one per miss.
+#[test]
+fn eq3_ndt_is_an_upper_bound_due_to_gc_batching() {
+    let report = run(Workload::Financial1, true, 60_000);
+    let gc_misses = (report.ftl_stats.gc_updates - report.ftl_stats.gc_hits) as f64;
+    let nmt = report.gc.trans_pages_migrated as f64;
+    let measured_ndt = report.flash.of(OpPurpose::GcTranslation).writes as f64 - nmt;
+    assert!(
+        measured_ndt <= gc_misses + 1.0,
+        "batching cannot exceed one update per miss: {measured_ndt} vs {gc_misses}"
+    );
+    assert!(measured_ndt > 0.0, "GC misses must force some updates");
+}
+
+/// The WA model upper-bounds the simulator (GC batching + warm-up) while
+/// staying within a factor that keeps it useful, and both agree once the
+/// simulator's actual `N_dt` is substituted for the Eq. 3 bound.
+#[test]
+fn wa_model_bounds_and_tracks_dftl_simulation() {
+    let report = run(Workload::Financial1, true, 60_000);
+    let p = params_from(&report);
+    let predicted = wa::write_amplification(&p);
+    let measured = report.write_amplification();
+    assert!(
+        predicted >= measured * 0.98,
+        "the model must not undershoot: model {predicted:.3} vs sim {measured:.3}"
+    );
+    assert!(
+        predicted <= measured * 2.0,
+        "the bound should stay useful: model {predicted:.3} vs sim {measured:.3}"
+    );
+
+    // Substitute the measured counts for the two bounding equations
+    // (Eq. 3's Ndt and Eq. 7's Ngcd) and the model must land on the sim.
+    let user_writes = report.ftl_stats.user_page_writes as f64;
+    let ntw = report.flash.of(OpPurpose::Translation).writes as f64;
+    let nmd = report.flash.of(OpPurpose::GcData).writes as f64;
+    let nmt = report.gc.trans_pages_migrated as f64;
+    let ndt = report.flash.of(OpPurpose::GcTranslation).writes as f64 - nmt;
+    let recomposed = 1.0 + (ntw + nmd + ndt + nmt) / user_writes;
+    let rel = (recomposed - measured).abs() / measured;
+    assert!(
+        rel < 0.01,
+        "Eq. 12 recomposition must be exact: {recomposed:.3} vs {measured:.3}"
+    );
+}
+
+/// The models' headline monotonicity claim, checked end-to-end: TPFTL's
+/// higher Hr and lower Prd must yield a lower modeled AND measured WA than
+/// DFTL on the same workload.
+#[test]
+fn better_cache_parameters_mean_lower_wa() {
+    let dftl = run(Workload::Financial1, true, 60_000);
+    let tpftl = run(Workload::Financial1, false, 60_000);
+    assert!(tpftl.hit_ratio() > dftl.hit_ratio());
+    assert!(tpftl.dirty_replacement_prob() < dftl.dirty_replacement_prob());
+    assert!(tpftl.write_amplification() < dftl.write_amplification());
+    let wa_d = wa::write_amplification(&params_from(&dftl));
+    let wa_t = wa::write_amplification(&params_from(&tpftl));
+    assert!(wa_t < wa_d, "model disagrees with simulation ranking");
+}

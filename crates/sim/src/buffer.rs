@@ -1,0 +1,154 @@
+//! An optional host write buffer in front of the FTL.
+//!
+//! Section 2.1 of the paper: "The internal RAM serves as both a data
+//! buffer and mapping cache ... As a data buffer, the RAM not only
+//! accelerates data access speed, but also improves the write sequentiality
+//! and reduces writes in flash memory". This component models the simplest
+//! useful form — an LRU write-back page cache: rewrites of buffered pages
+//! are absorbed in RAM, reads of buffered pages are served from RAM, and
+//! only LRU evictions reach the FTL. The paper's evaluation runs *without*
+//! a data buffer (the cache budget is all mapping cache), so this stays an
+//! opt-in extension ([`crate::Ssd::with_write_buffer`]).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tpftl_core::lru::{LruIdx, LruList};
+use tpftl_flash::Lpn;
+
+/// Write-buffer event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferStats {
+    /// Writes absorbed by an already-buffered page (no flash traffic).
+    pub write_absorbed: u64,
+    /// Writes that inserted a new buffered page.
+    pub write_inserted: u64,
+    /// Reads served from the buffer.
+    pub read_hits: u64,
+    /// Pages evicted (and therefore written to flash).
+    pub evictions: u64,
+}
+
+/// An LRU write-back buffer of dirty host pages.
+#[derive(Debug)]
+pub struct WriteBuffer {
+    cap_pages: usize,
+    map: HashMap<Lpn, LruIdx>,
+    lru: LruList<Lpn>,
+    /// Event counters.
+    pub stats: BufferStats,
+}
+
+impl WriteBuffer {
+    /// Creates a buffer holding up to `cap_pages` dirty 4 KB pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap_pages` is zero.
+    pub fn new(cap_pages: usize) -> Self {
+        assert!(cap_pages > 0, "buffer needs capacity");
+        Self {
+            cap_pages,
+            map: HashMap::new(),
+            lru: LruList::new(),
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Number of dirty pages currently buffered.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// Buffers a host write to `lpn`; returns a page that must now be
+    /// written to flash (the LRU eviction), if any.
+    pub fn write(&mut self, lpn: Lpn) -> Option<Lpn> {
+        if let Some(&idx) = self.map.get(&lpn) {
+            self.lru.touch(idx);
+            self.stats.write_absorbed += 1;
+            return None;
+        }
+        self.stats.write_inserted += 1;
+        let evicted = if self.lru.len() >= self.cap_pages {
+            let victim = self.lru.pop_lru().expect("buffer full implies non-empty");
+            self.map.remove(&victim);
+            self.stats.evictions += 1;
+            Some(victim)
+        } else {
+            None
+        };
+        let idx = self.lru.push_mru(lpn);
+        self.map.insert(lpn, idx);
+        evicted
+    }
+
+    /// Whether a read of `lpn` is served from the buffer (counts a hit).
+    pub fn read_hit(&mut self, lpn: Lpn) -> bool {
+        if let Some(&idx) = self.map.get(&lpn) {
+            self.lru.touch(idx);
+            self.stats.read_hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drains every buffered page (flush at unmount), LRU first.
+    pub fn drain(&mut self) -> Vec<Lpn> {
+        let mut out = Vec::with_capacity(self.lru.len());
+        while let Some(lpn) = self.lru.pop_lru() {
+            self.map.remove(&lpn);
+            out.push(lpn);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorbs_rewrites() {
+        let mut b = WriteBuffer::new(4);
+        assert_eq!(b.write(1), None);
+        assert_eq!(b.write(1), None);
+        assert_eq!(b.write(1), None);
+        assert_eq!(b.stats.write_absorbed, 2);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn evicts_lru_when_full() {
+        let mut b = WriteBuffer::new(2);
+        b.write(1);
+        b.write(2);
+        // Touch 1 so 2 becomes LRU.
+        assert!(b.read_hit(1));
+        assert_eq!(b.write(3), Some(2));
+        assert_eq!(b.stats.evictions, 1);
+        assert!(b.read_hit(1));
+        assert!(!b.read_hit(2));
+    }
+
+    #[test]
+    fn drain_returns_everything_lru_first() {
+        let mut b = WriteBuffer::new(4);
+        for lpn in [5u32, 6, 7] {
+            b.write(lpn);
+        }
+        b.read_hit(5); // 5 becomes MRU
+        assert_eq!(b.drain(), vec![6, 7, 5]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = WriteBuffer::new(0);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Trace-driven SSD simulator for the TPFTL reproduction.
+//!
+//! Binds together the flash device model ([`tpftl_flash`]), the FTL
+//! framework ([`tpftl_core`]) and the workloads ([`tpftl_trace`]) the way
+//! FlashSim does in the paper: requests are split into 4 KB page accesses
+//! and served in arrival order by a single device whose service time is the
+//! sum of the flash-operation latencies each access incurs (address
+//! translation, user data access, and garbage collection). The *system
+//! response time* therefore includes the queuing delay, exactly the metric
+//! of Figure 6(e).
+
+mod buffer;
+mod report;
+mod sampler;
+mod ssd;
+
+pub use buffer::{BufferStats, WriteBuffer};
+pub use report::RunReport;
+pub use sampler::{CacheSample, CacheSampler, MAX_DIRTY_BUCKET};
+pub use ssd::Ssd;
+
+pub use tpftl_core::Result;

@@ -1,0 +1,93 @@
+//! The per-run measurement record.
+
+use serde::{Deserialize, Serialize};
+use tpftl_core::env::GcStats;
+use tpftl_core::FtlStats;
+use tpftl_flash::{FlashStats, OpPurpose};
+
+/// Everything the paper's figures plot, for one (FTL, workload) run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// FTL name including configuration (e.g. `TPFTL(rsbc)`).
+    pub ftl: String,
+    /// Cache-level counters (`H_r`, `P_rd`, `H_gcr`, ...).
+    pub ftl_stats: FtlStats,
+    /// Flash operation counts by purpose.
+    pub flash: FlashStats,
+    /// GC aggregates (`N_gcd`, `V_d`, `N_gct`, `V_t`).
+    pub gc: GcStats,
+    /// Mean system response time in microseconds (queuing included).
+    pub avg_response_us: f64,
+    /// Mapping entries cached at the end of the run.
+    pub cached_entries: usize,
+    /// Cache bytes in use at the end of the run (excluding the GTD).
+    pub cache_bytes_used: usize,
+    /// Total configured cache budget in bytes (including the GTD).
+    pub cache_bytes_total: usize,
+}
+
+impl RunReport {
+    /// Cache hit ratio `H_r` (Figure 6b).
+    pub fn hit_ratio(&self) -> f64 {
+        self.ftl_stats.hit_ratio()
+    }
+
+    /// Probability of replacing a dirty entry `P_rd` (Figure 6a).
+    pub fn dirty_replacement_prob(&self) -> f64 {
+        self.ftl_stats.dirty_replacement_prob()
+    }
+
+    /// Translation page reads, address-translation phase + GC (Figure 6c).
+    pub fn translation_reads(&self) -> u64 {
+        self.flash.translation_reads()
+    }
+
+    /// Translation page writes, address-translation phase + GC (Figure 6d).
+    pub fn translation_writes(&self) -> u64 {
+        self.flash.translation_writes()
+    }
+
+    /// Translation page writes during address translation only (`N_tw`).
+    pub fn ntw(&self) -> u64 {
+        self.flash.of(OpPurpose::Translation).writes
+    }
+
+    /// Overall write amplification (Figure 6f); 0 for read-only runs.
+    pub fn write_amplification(&self) -> f64 {
+        self.flash
+            .write_amplification(self.ftl_stats.user_page_writes)
+            .unwrap_or(0.0)
+    }
+
+    /// Total block erases (Figure 7a).
+    pub fn erase_count(&self) -> u64 {
+        self.flash.total_erases()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut r = RunReport {
+            ftl: "X".into(),
+            ftl_stats: FtlStats::default(),
+            flash: FlashStats::default(),
+            gc: GcStats::default(),
+            avg_response_us: 100.0,
+            cached_entries: 0,
+            cache_bytes_used: 0,
+            cache_bytes_total: 0,
+        };
+        r.ftl_stats.lookups = 10;
+        r.ftl_stats.hits = 9;
+        assert!((r.hit_ratio() - 0.9).abs() < 1e-12);
+        assert_eq!(r.write_amplification(), 0.0);
+        // Serializes round-trip (the experiment harness persists these).
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

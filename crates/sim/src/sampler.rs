@@ -1,0 +1,200 @@
+//! Periodic mapping-cache sampling — the Figure 1/2 observable.
+//!
+//! The paper collected its cache-distribution numbers "by sampling the
+//! mapping cache every 10,000 user page accesses during the entire running
+//! phase". [`CacheSampler`] does exactly that: every `interval` page
+//! accesses it snapshots the per-translation-page distribution of cached
+//! entries.
+
+use serde::{Deserialize, Serialize};
+
+/// Dirty-count histogram buckets: nodes with `0..=MAX_DIRTY_BUCKET` dirty
+/// entries (the paper's Figure 1(b) x-axis runs to 50).
+pub const MAX_DIRTY_BUCKET: usize = 50;
+
+/// One snapshot of the cached translation-page distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheSample {
+    /// Page accesses served when the sample was taken.
+    pub page_accesses: u64,
+    /// Number of cached translation pages (TP nodes / grouped entries).
+    pub cached_tps: u32,
+    /// Total cached entries across them.
+    pub total_entries: u64,
+    /// Total dirty entries across them.
+    pub total_dirty: u64,
+    /// `dirty_hist[d]` = number of cached translation pages with exactly
+    /// `d` dirty entries (`d` capped at [`MAX_DIRTY_BUCKET`]).
+    pub dirty_hist: Vec<u32>,
+}
+
+impl CacheSample {
+    /// Average cached entries per cached translation page (Figure 1a).
+    pub fn avg_entries_per_tp(&self) -> f64 {
+        if self.cached_tps == 0 {
+            0.0
+        } else {
+            self.total_entries as f64 / self.cached_tps as f64
+        }
+    }
+}
+
+/// Collects [`CacheSample`]s every `interval` page accesses.
+#[derive(Debug, Clone)]
+pub struct CacheSampler {
+    interval: u64,
+    next_at: u64,
+    /// The collected samples, in time order.
+    pub samples: Vec<CacheSample>,
+}
+
+impl CacheSampler {
+    /// Creates a sampler firing every `interval` page accesses (the paper
+    /// uses 10,000).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: u64) -> Self {
+        assert!(interval > 0, "sampling interval must be positive");
+        Self {
+            interval,
+            next_at: interval,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Whether a sample is due at `page_accesses` served.
+    pub(crate) fn due(&self, page_accesses: u64) -> bool {
+        page_accesses >= self.next_at
+    }
+
+    /// Records a snapshot built from an FTL's distribution.
+    pub(crate) fn record(&mut self, page_accesses: u64, dist: &[tpftl_core::ftl::TpDistEntry]) {
+        let mut hist = vec![0u32; MAX_DIRTY_BUCKET + 1];
+        let mut total_entries = 0u64;
+        let mut total_dirty = 0u64;
+        for d in dist {
+            total_entries += d.entries as u64;
+            total_dirty += d.dirty as u64;
+            hist[(d.dirty as usize).min(MAX_DIRTY_BUCKET)] += 1;
+        }
+        self.samples.push(CacheSample {
+            page_accesses,
+            cached_tps: dist.len() as u32,
+            total_entries,
+            total_dirty,
+            dirty_hist: hist,
+        });
+        self.next_at = page_accesses + self.interval;
+    }
+
+    /// Aggregated dirty-count CDF over all samples: `cdf[d]` = fraction of
+    /// sampled cached translation pages with at most `d` dirty entries
+    /// (Figure 1b).
+    pub fn dirty_cdf(&self) -> Vec<f64> {
+        let mut counts = vec![0u64; MAX_DIRTY_BUCKET + 1];
+        let mut total = 0u64;
+        for s in &self.samples {
+            for (d, &c) in s.dirty_hist.iter().enumerate() {
+                counts[d] += c as u64;
+                total += c as u64;
+            }
+        }
+        let mut acc = 0u64;
+        counts
+            .iter()
+            .map(|&c| {
+                acc += c;
+                if total == 0 {
+                    0.0
+                } else {
+                    acc as f64 / total as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Mean dirty entries per cached translation page over all samples
+    /// (the vertical dashed lines of Figure 1b).
+    pub fn mean_dirty_per_tp(&self) -> f64 {
+        let (dirty, tps) = self.samples.iter().fold((0u64, 0u64), |(d, t), s| {
+            (d + s.total_dirty, t + s.cached_tps as u64)
+        });
+        if tps == 0 {
+            0.0
+        } else {
+            dirty as f64 / tps as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpftl_core::ftl::TpDistEntry;
+
+    #[test]
+    fn sampling_cadence() {
+        let mut s = CacheSampler::new(100);
+        assert!(!s.due(99));
+        assert!(s.due(100));
+        s.record(100, &[]);
+        assert!(!s.due(199));
+        assert!(s.due(200));
+    }
+
+    #[test]
+    fn histogram_and_cdf() {
+        let mut s = CacheSampler::new(1);
+        let dist = vec![
+            TpDistEntry {
+                vtpn: 0,
+                entries: 10,
+                dirty: 0,
+            },
+            TpDistEntry {
+                vtpn: 1,
+                entries: 5,
+                dirty: 2,
+            },
+            TpDistEntry {
+                vtpn: 2,
+                entries: 7,
+                dirty: 2,
+            },
+            TpDistEntry {
+                vtpn: 3,
+                entries: 1,
+                dirty: 60,
+            }, // clamps to 50
+        ];
+        s.record(1, &dist);
+        let sample = &s.samples[0];
+        assert_eq!(sample.cached_tps, 4);
+        assert_eq!(sample.total_entries, 23);
+        assert_eq!(sample.total_dirty, 64);
+        assert!((sample.avg_entries_per_tp() - 5.75).abs() < 1e-12);
+        assert_eq!(sample.dirty_hist[0], 1);
+        assert_eq!(sample.dirty_hist[2], 2);
+        assert_eq!(sample.dirty_hist[50], 1);
+        let cdf = s.dirty_cdf();
+        assert!((cdf[0] - 0.25).abs() < 1e-12);
+        assert!((cdf[2] - 0.75).abs() < 1e-12);
+        assert!((cdf[50] - 1.0).abs() < 1e-12);
+        assert!((s.mean_dirty_per_tp() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sampler_is_sane() {
+        let s = CacheSampler::new(10);
+        assert_eq!(s.dirty_cdf()[0], 0.0);
+        assert_eq!(s.mean_dirty_per_tp(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn zero_interval_panics() {
+        let _ = CacheSampler::new(0);
+    }
+}

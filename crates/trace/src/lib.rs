@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! I/O traces for the TPFTL reproduction: request model, trace-file parsers
+//! and synthetic workload generators.
+//!
+//! The paper evaluates with four enterprise traces (Table 4): the UMass
+//! `Financial1`/`Financial2` OLTP traces (SPC format) and the MSR Cambridge
+//! `ts`/`src` server traces (CSV format). Those traces are not
+//! redistributable, so this crate provides both:
+//!
+//! * [`parse`] — parsers for the two on-disk formats, for users who have the
+//!   original files, and
+//! * [`synth`] + [`presets`] — synthetic generators whose output matches the
+//!   Table 4 characteristics (write ratio, average request size, sequential
+//!   read/write fractions, address-space footprint) plus a configurable
+//!   skewed temporal locality, verified by the [`stats`] analyzer.
+
+mod request;
+mod zipf;
+
+pub mod parse;
+pub mod presets;
+pub mod stats;
+pub mod synth;
+
+pub use request::{Dir, IoRequest};
+pub use stats::TraceStats;
+pub use synth::{Locality, SyntheticSpec};
+pub use zipf::ZipfRegions;
+
+/// Bytes per disk sector; trace LBAs are sector-granular.
+pub const SECTOR_BYTES: u64 = 512;

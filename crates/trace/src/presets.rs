@@ -1,0 +1,197 @@
+//! The four paper workloads (Table 4) as calibrated synthetic specs.
+//!
+//! | Workload   | Write ratio | Avg. req. | Seq. read | Seq. write | Space  |
+//! |------------|-------------|-----------|-----------|------------|--------|
+//! | Financial1 | 77.9 %      | 3.5 KB    | 1.5 %     | 1.8 %      | 512 MB |
+//! | Financial2 | 18 %        | 2.4 KB    | 0.8 %     | 0.5 %      | 512 MB |
+//! | MSR-ts     | 82.4 %      | 9 KB      | 47.2 %    | 6 %        | 16 GB  |
+//! | MSR-src    | 88.7 %      | 7.2 KB    | 22.6 %    | 7.1 %      | 16 GB  |
+//!
+//! Knobs Table 4 does not pin down (temporal-locality skew, footprint
+//! fraction, arrival rate) are calibrated so the simulator reproduces the
+//! qualitative cache behaviour the paper reports: Financial traces have
+//! "large working sets" and random-dominant traffic; MSR traces have strong
+//! sequentiality, a footprint far below their 16 GB volume, and mapping-
+//! cache hit ratios above 90 %.
+
+use serde::{Deserialize, Serialize};
+
+use crate::synth::{Locality, SyntheticSpec};
+
+/// Identifier for the four paper workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// UMass Financial1: random-dominant, write-intensive OLTP.
+    Financial1,
+    /// UMass Financial2: random-dominant, read-intensive OLTP.
+    Financial2,
+    /// MSR Cambridge `ts`: write-dominant, strongly sequential reads.
+    MsrTs,
+    /// MSR Cambridge `src`: write-dominant, moderately sequential.
+    MsrSrc,
+}
+
+impl Workload {
+    /// All four workloads in the paper's plotting order.
+    pub const ALL: [Workload; 4] = [
+        Workload::Financial1,
+        Workload::Financial2,
+        Workload::MsrTs,
+        Workload::MsrSrc,
+    ];
+
+    /// Display name used in tables and figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Financial1 => "Financial1",
+            Workload::Financial2 => "Financial2",
+            Workload::MsrTs => "MSR-ts",
+            Workload::MsrSrc => "MSR-src",
+        }
+    }
+
+    /// Logical address space of the trace (Table 4).
+    pub fn address_bytes(&self) -> u64 {
+        match self {
+            Workload::Financial1 | Workload::Financial2 => 512 << 20,
+            Workload::MsrTs | Workload::MsrSrc => 16 << 30,
+        }
+    }
+
+    /// Builds the calibrated synthetic spec generating `requests` requests.
+    pub fn spec(&self, requests: usize) -> SyntheticSpec {
+        match self {
+            Workload::Financial1 => SyntheticSpec {
+                name: self.name().to_string(),
+                requests,
+                address_bytes: self.address_bytes(),
+                write_ratio: 0.779,
+                seq_read_frac: 0.015,
+                seq_write_frac: 0.018,
+                mean_req_sectors: 7.0, // 3.5 KB
+                mean_burst_len: 200.0,
+                align_sectors: 8,
+                locality: Locality {
+                    regions: 8192,
+                    theta: 1.38,
+                    active_frac: 1.0,
+                },
+                mean_interarrival_us: 3800.0,
+            },
+            Workload::Financial2 => SyntheticSpec {
+                name: self.name().to_string(),
+                requests,
+                address_bytes: self.address_bytes(),
+                write_ratio: 0.18,
+                seq_read_frac: 0.008,
+                seq_write_frac: 0.005,
+                mean_req_sectors: 4.7, // 2.4 KB
+                mean_burst_len: 200.0,
+                align_sectors: 8,
+                locality: Locality {
+                    regions: 8192,
+                    theta: 1.38,
+                    active_frac: 1.0,
+                },
+                mean_interarrival_us: 3800.0,
+            },
+            Workload::MsrTs => SyntheticSpec {
+                name: self.name().to_string(),
+                requests,
+                address_bytes: self.address_bytes(),
+                write_ratio: 0.824,
+                seq_read_frac: 0.472,
+                seq_write_frac: 0.06,
+                mean_req_sectors: 18.0, // 9 KB
+                mean_burst_len: 24.0,
+                align_sectors: 8,
+                locality: Locality {
+                    regions: 8192,
+                    theta: 1.4,
+                    active_frac: 0.05,
+                },
+                mean_interarrival_us: 650.0,
+            },
+            Workload::MsrSrc => SyntheticSpec {
+                name: self.name().to_string(),
+                requests,
+                address_bytes: self.address_bytes(),
+                write_ratio: 0.887,
+                seq_read_frac: 0.226,
+                seq_write_frac: 0.071,
+                mean_req_sectors: 14.4, // 7.2 KB
+                mean_burst_len: 24.0,
+                align_sectors: 8,
+                locality: Locality {
+                    regions: 8192,
+                    theta: 1.4,
+                    active_frac: 0.05,
+                },
+                mean_interarrival_us: 650.0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn names_and_spaces() {
+        assert_eq!(Workload::Financial1.name(), "Financial1");
+        assert_eq!(Workload::Financial1.address_bytes(), 512 << 20);
+        assert_eq!(Workload::MsrTs.address_bytes(), 16 << 30);
+        assert_eq!(Workload::ALL.len(), 4);
+    }
+
+    /// Generated traces must match Table 4 within tolerance — this is the
+    /// calibration contract of the trace substitution in DESIGN.md.
+    #[test]
+    fn table4_calibration() {
+        let cases = [
+            (Workload::Financial1, 0.779, 3.5 * 1024.0, 0.015, 0.018),
+            (Workload::Financial2, 0.18, 2.4 * 1024.0, 0.008, 0.005),
+            (Workload::MsrTs, 0.824, 9.0 * 1024.0, 0.472, 0.06),
+            (Workload::MsrSrc, 0.887, 7.2 * 1024.0, 0.226, 0.071),
+        ];
+        for (w, wr, avg_bytes, sr, sw) in cases {
+            let s = stats::analyze(&w.spec(150_000).generate(2015));
+            assert!(
+                (s.write_ratio - wr).abs() < 0.01,
+                "{}: wr={}",
+                w.name(),
+                s.write_ratio
+            );
+            assert!(
+                (s.avg_req_bytes - avg_bytes).abs() / avg_bytes < 0.05,
+                "{}: avg={}",
+                w.name(),
+                s.avg_req_bytes
+            );
+            assert!(
+                (s.seq_read_frac - sr).abs() < 0.04,
+                "{}: seq_read={}",
+                w.name(),
+                s.seq_read_frac
+            );
+            // Hot-region concentration plus 4 KB alignment produces some
+            // accidental adjacency on top of the injected bursts, so the
+            // measured fractions sit slightly above the Table 4 targets.
+            assert!(
+                (s.seq_write_frac - sw).abs() < 0.03,
+                "{}: seq_write={}",
+                w.name(),
+                s.seq_write_frac
+            );
+        }
+    }
+
+    #[test]
+    fn msr_footprint_is_partial() {
+        let s = stats::analyze(&Workload::MsrTs.spec(30_000).generate(7));
+        let total_pages = (16u64 << 30) / 4096;
+        assert!(s.unique_pages < total_pages / 10);
+    }
+}

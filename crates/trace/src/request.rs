@@ -1,0 +1,120 @@
+//! The host I/O request model.
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of an I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dir {
+    /// Host read.
+    Read,
+    /// Host write.
+    Write,
+}
+
+/// One host I/O request as the FTL sees it.
+///
+/// Addresses and lengths are byte-granular (trace files are sector-granular;
+/// parsers convert). The FTL splits a request into 4 KB page accesses with
+/// [`IoRequest::pages`], exactly as the paper describes ("The FTL splits I/O
+/// requests into page accesses").
+///
+/// # Examples
+///
+/// ```
+/// use tpftl_trace::{Dir, IoRequest};
+///
+/// let req = IoRequest::new(0.0, 4095, 2, Dir::Write);
+/// // Bytes 4095..4097 straddle the page boundary: two page accesses.
+/// assert_eq!(req.pages(4096).collect::<Vec<_>>(), vec![0, 1]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoRequest {
+    /// Arrival time in microseconds from trace start.
+    pub arrival_us: f64,
+    /// Start offset in bytes.
+    pub offset: u64,
+    /// Length in bytes (>= 1).
+    pub len: u32,
+    /// Read or write.
+    pub dir: Dir,
+}
+
+impl IoRequest {
+    /// Creates a request. `len` is clamped to at least one byte so that a
+    /// malformed zero-length trace record still touches one page.
+    pub fn new(arrival_us: f64, offset: u64, len: u32, dir: Dir) -> Self {
+        Self {
+            arrival_us,
+            offset,
+            len: len.max(1),
+            dir,
+        }
+    }
+
+    /// Whether this is a write.
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        self.dir == Dir::Write
+    }
+
+    /// End offset (exclusive) in bytes.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.offset + self.len as u64
+    }
+
+    /// The 4 KB-aligned logical pages this request touches.
+    #[inline]
+    pub fn pages(&self, page_bytes: u64) -> impl Iterator<Item = u64> {
+        let first = self.offset / page_bytes;
+        let last = (self.end() - 1) / page_bytes;
+        first..=last
+    }
+
+    /// Number of page accesses this request splits into.
+    #[inline]
+    pub fn page_count(&self, page_bytes: u64) -> usize {
+        let first = self.offset / page_bytes;
+        let last = (self.end() - 1) / page_bytes;
+        (last - first + 1) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_split_single_page() {
+        let r = IoRequest::new(0.0, 0, 4096, Dir::Read);
+        assert_eq!(r.pages(4096).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(r.page_count(4096), 1);
+    }
+
+    #[test]
+    fn page_split_unaligned() {
+        let r = IoRequest::new(0.0, 4000, 200, Dir::Read);
+        assert_eq!(r.pages(4096).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn page_split_large() {
+        let r = IoRequest::new(0.0, 8192, 3 * 4096, Dir::Write);
+        assert_eq!(r.pages(4096).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(r.page_count(4096), 3);
+    }
+
+    #[test]
+    fn zero_length_clamped() {
+        let r = IoRequest::new(0.0, 100, 0, Dir::Read);
+        assert_eq!(r.len, 1);
+        assert_eq!(r.page_count(4096), 1);
+    }
+
+    #[test]
+    fn end_offset() {
+        let r = IoRequest::new(0.0, 10, 5, Dir::Read);
+        assert_eq!(r.end(), 15);
+        assert!(!r.is_write());
+    }
+}

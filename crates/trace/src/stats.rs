@@ -1,0 +1,202 @@
+//! Trace characterization, reproducing the metrics of the paper's Table 4.
+//!
+//! Sequentiality follows the common trace-analysis definition (cf.
+//! Li et al., "Assert(!Defined(Sequential I/O))", HotStorage'14, cited by
+//! the paper): a request is *sequential* if it starts exactly where one of
+//! the recent requests of the same direction ended. Table 4 reports
+//! "Seq. Read" and "Seq. Write" as fractions of reads and writes
+//! respectively; we do the same.
+
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Dir, IoRequest};
+
+/// Window of recent end-offsets consulted for the sequentiality test.
+const SEQ_WINDOW: usize = 16;
+
+/// Summary statistics of a trace, mirroring Table 4 of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total number of requests.
+    pub requests: u64,
+    /// Fraction of requests that are writes.
+    pub write_ratio: f64,
+    /// Mean request size in bytes.
+    pub avg_req_bytes: f64,
+    /// Fraction of read requests contiguous with a recent read.
+    pub seq_read_frac: f64,
+    /// Fraction of write requests contiguous with a recent write.
+    pub seq_write_frac: f64,
+    /// Highest byte offset touched plus one (the trace's address space).
+    pub address_space: u64,
+    /// Number of distinct 4 KB pages touched (working-set footprint).
+    pub unique_pages: u64,
+    /// Total page accesses after 4 KB splitting (the paper's `N_pa`).
+    pub page_accesses: u64,
+    /// Fraction of page accesses that are writes (the paper's `R_w`).
+    pub page_write_ratio: f64,
+    /// Trace duration in microseconds (last arrival minus first).
+    pub duration_us: f64,
+}
+
+/// Computes [`TraceStats`] over `requests` with 4 KB pages.
+pub fn analyze(requests: &[IoRequest]) -> TraceStats {
+    analyze_with_page(requests, 4096)
+}
+
+/// Computes [`TraceStats`] with an explicit page size.
+pub fn analyze_with_page(requests: &[IoRequest], page_bytes: u64) -> TraceStats {
+    let mut writes = 0u64;
+    let mut bytes = 0u128;
+    let mut seq_reads = 0u64;
+    let mut seq_writes = 0u64;
+    let mut reads = 0u64;
+    let mut address_space = 0u64;
+    let mut pages = HashSet::new();
+    let mut page_accesses = 0u64;
+    let mut page_writes = 0u64;
+    let mut recent_read_ends: VecDeque<u64> = VecDeque::with_capacity(SEQ_WINDOW);
+    let mut recent_write_ends: VecDeque<u64> = VecDeque::with_capacity(SEQ_WINDOW);
+    let mut first_arrival = f64::INFINITY;
+    let mut last_arrival = f64::NEG_INFINITY;
+
+    for r in requests {
+        bytes += r.len as u128;
+        address_space = address_space.max(r.end());
+        first_arrival = first_arrival.min(r.arrival_us);
+        last_arrival = last_arrival.max(r.arrival_us);
+        let recent = match r.dir {
+            Dir::Read => {
+                reads += 1;
+                &mut recent_read_ends
+            }
+            Dir::Write => {
+                writes += 1;
+                &mut recent_write_ends
+            }
+        };
+        if recent.contains(&r.offset) {
+            match r.dir {
+                Dir::Read => seq_reads += 1,
+                Dir::Write => seq_writes += 1,
+            }
+        }
+        if recent.len() == SEQ_WINDOW {
+            recent.pop_front();
+        }
+        recent.push_back(r.end());
+        for p in r.pages(page_bytes) {
+            pages.insert(p);
+            page_accesses += 1;
+            if r.is_write() {
+                page_writes += 1;
+            }
+        }
+    }
+
+    let n = requests.len() as u64;
+    let frac = |num: u64, den: u64| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    TraceStats {
+        requests: n,
+        write_ratio: frac(writes, n),
+        avg_req_bytes: if n == 0 { 0.0 } else { bytes as f64 / n as f64 },
+        seq_read_frac: frac(seq_reads, reads),
+        seq_write_frac: frac(seq_writes, writes),
+        address_space,
+        unique_pages: pages.len() as u64,
+        page_accesses,
+        page_write_ratio: frac(page_writes, page_accesses),
+        duration_us: if n == 0 {
+            0.0
+        } else {
+            last_arrival - first_arrival
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(off: u64, len: u32, dir: Dir) -> IoRequest {
+        IoRequest::new(0.0, off, len, dir)
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = analyze(&[]);
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.write_ratio, 0.0);
+        assert_eq!(s.page_accesses, 0);
+    }
+
+    #[test]
+    fn write_ratio_and_sizes() {
+        let t = vec![
+            req(0, 4096, Dir::Write),
+            req(8192, 4096, Dir::Write),
+            req(0, 8192, Dir::Read),
+            req(4096 * 10, 4096, Dir::Write),
+        ];
+        let s = analyze(&t);
+        assert_eq!(s.requests, 4);
+        assert!((s.write_ratio - 0.75).abs() < 1e-12);
+        assert!((s.avg_req_bytes - 5120.0).abs() < 1e-9);
+        assert_eq!(s.address_space, 4096 * 11);
+        // Pages touched: {0}, {2}, {0, 1}, {10} -> 4 unique, 5 accesses.
+        assert_eq!(s.unique_pages, 4);
+        assert_eq!(s.page_accesses, 5);
+        assert!((s.page_write_ratio - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_detection_same_direction() {
+        // Three writes forming one run; the first is not counted sequential.
+        let t = vec![
+            req(0, 4096, Dir::Write),
+            req(4096, 4096, Dir::Write),
+            req(8192, 4096, Dir::Write),
+            // A read starting at a *write* end is not sequential.
+            req(12288, 4096, Dir::Read),
+        ];
+        let s = analyze(&t);
+        assert!((s.seq_write_frac - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.seq_read_frac, 0.0);
+    }
+
+    #[test]
+    fn sequential_detection_interleaved() {
+        // A sequential read run interleaved with random writes is still
+        // detected thanks to the window.
+        let t = vec![
+            req(0, 4096, Dir::Read),
+            req(1 << 20, 512, Dir::Write),
+            req(4096, 4096, Dir::Read),
+            req(2 << 20, 512, Dir::Write),
+            req(8192, 4096, Dir::Read),
+        ];
+        let s = analyze(&t);
+        assert!((s.seq_read_frac - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.seq_write_frac, 0.0);
+    }
+
+    #[test]
+    fn duration_is_arrival_span() {
+        let mut t = vec![
+            IoRequest::new(100.0, 0, 512, Dir::Read),
+            IoRequest::new(500.0, 0, 512, Dir::Read),
+        ];
+        t.push(IoRequest::new(1600.0, 0, 512, Dir::Write));
+        let s = analyze(&t);
+        assert!((s.duration_us - 1500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,164 @@
+//! A region-based Zipfian address sampler.
+//!
+//! Sampling a true Zipf distribution over millions of pages is expensive and
+//! unnecessary: what matters for mapping-cache behaviour is the skew of the
+//! *page popularity* distribution. We divide the address space into a fixed
+//! number of regions, give region ranks Zipfian probabilities
+//! `P(rank k) ∝ 1/k^theta` with a random rank-to-region permutation (so hot
+//! regions are scattered over the address space, as in real traces), and
+//! sample uniformly within a region.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Zipf-over-regions sampler for skewed address distributions.
+#[derive(Debug, Clone)]
+pub struct ZipfRegions {
+    /// Cumulative probability per popularity rank.
+    cdf: Vec<f64>,
+    /// `perm[rank]` = region index holding that popularity rank.
+    perm: Vec<u32>,
+    /// Total number of addressable units.
+    total: u64,
+}
+
+impl ZipfRegions {
+    /// Creates a sampler over `total` units with `regions` regions and skew
+    /// `theta` (0 = uniform; 0.99 ≈ classic Zipf; larger = more skewed).
+    ///
+    /// Only the `active_frac` most popular ranks receive non-zero weight,
+    /// which models workloads whose footprint covers just part of the
+    /// address space (the MSR traces touch a fraction of their 16 GB
+    /// volume). The rank permutation still scatters the active regions over
+    /// the whole space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0`, `regions == 0`, `theta < 0`, or
+    /// `active_frac` is not in `(0, 1]`.
+    pub fn new<R: Rng>(
+        total: u64,
+        regions: usize,
+        theta: f64,
+        active_frac: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(total > 0 && regions > 0, "empty address space");
+        assert!(theta >= 0.0, "negative skew");
+        assert!(
+            active_frac > 0.0 && active_frac <= 1.0,
+            "active_frac must be in (0, 1]"
+        );
+        let regions = regions.min(total as usize);
+        let active = ((regions as f64 * active_frac).ceil() as usize).clamp(1, regions);
+        let mut weights: Vec<f64> = (1..=regions)
+            .map(|k| {
+                if k <= active {
+                    1.0 / (k as f64).powf(theta)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let sum: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / sum;
+            *w = acc;
+        }
+        // Guard against floating-point drift.
+        *weights.last_mut().expect("regions > 0") = 1.0;
+        let mut perm: Vec<u32> = (0..regions as u32).collect();
+        perm.shuffle(rng);
+        Self {
+            cdf: weights,
+            perm,
+            total,
+        }
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Samples one unit index in `0..total`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let rank = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
+        let region = self.perm[rank] as u64;
+        let n = self.cdf.len() as u64;
+        let base = region * self.total / n;
+        let end = (region + 1) * self.total / n;
+        let span = (end - base).max(1);
+        base + rng.gen_range(0..span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let z = ZipfRegions::new(1000, 16, 1.0, 1.0, &mut rng);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let z = ZipfRegions::new(1 << 20, 64, 0.0, 1.0, &mut rng);
+        let mut counts = vec![0u32; 64];
+        let region_span = (1u64 << 20) / 64;
+        for _ in 0..64_000 {
+            counts[(z.sample(&mut rng) / region_span) as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        // Each region expects 1000 samples; allow generous statistical slack.
+        assert!(*min > 700 && *max < 1300, "min={min} max={max}");
+    }
+
+    #[test]
+    fn skewed_when_theta_large() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = ZipfRegions::new(1 << 20, 64, 1.2, 1.0, &mut rng);
+        let region_span = (1u64 << 20) / 64;
+        let mut counts = vec![0u32; 64];
+        for _ in 0..64_000 {
+            counts[(z.sample(&mut rng) / region_span) as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top8: u32 = counts[..8].iter().sum();
+        // With theta=1.2 the top 8 of 64 regions take the large majority.
+        assert!(top8 as f64 > 0.6 * 64_000.0, "top8={top8}");
+    }
+
+    #[test]
+    fn active_frac_limits_footprint() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let z = ZipfRegions::new(1 << 20, 64, 0.0, 0.25, &mut rng);
+        let region_span = (1u64 << 20) / 64;
+        let mut touched = std::collections::HashSet::new();
+        for _ in 0..64_000 {
+            touched.insert(z.sample(&mut rng) / region_span);
+        }
+        // Exactly 16 of 64 regions are reachable.
+        assert_eq!(touched.len(), 16);
+    }
+
+    #[test]
+    fn more_regions_than_units_is_clamped() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let z = ZipfRegions::new(5, 64, 1.0, 1.0, &mut rng);
+        assert_eq!(z.regions(), 5);
+        for _ in 0..100 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the trace parsers: write/parse round-trips over
+//! arbitrary request streams, and robustness against malformed input
+//! (errors, never panics).
+
+use proptest::prelude::*;
+use tpftl_trace::{parse, Dir, IoRequest, SECTOR_BYTES};
+
+fn request_strategy() -> impl Strategy<Value = IoRequest> {
+    (
+        0.0f64..1e12,
+        0u64..(1u64 << 41) / SECTOR_BYTES, // sector index within 2 TB
+        1u32..65_536,
+        any::<bool>(),
+    )
+        .prop_map(|(t, sector, len, w)| {
+            IoRequest::new(
+                t,
+                sector * SECTOR_BYTES,
+                len,
+                if w { Dir::Write } else { Dir::Read },
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// SPC round trip: offsets are sector-granular, timestamps carry
+    /// microsecond precision (the writer emits 6 decimal places).
+    #[test]
+    fn spc_roundtrip(reqs in proptest::collection::vec(request_strategy(), 1..100)) {
+        // Normalize: SPC timestamps are relative to the first record, and
+        // the writer emits sorted-ish arbitrary times as-is.
+        let mut buf = Vec::new();
+        parse::write_spc(&mut buf, &reqs).expect("write");
+        let parsed = parse::parse_spc(&buf[..]).expect("parse");
+        prop_assert_eq!(parsed.len(), reqs.len());
+        let t0 = reqs[0].arrival_us;
+        for (a, b) in reqs.iter().zip(&parsed) {
+            prop_assert_eq!(a.offset, b.offset);
+            prop_assert_eq!(a.len, b.len);
+            prop_assert_eq!(a.dir, b.dir);
+            // Seconds with 6 decimals -> within 1 µs after normalization.
+            prop_assert!(((a.arrival_us - t0) - b.arrival_us).abs() <= 1.0);
+        }
+    }
+
+    /// MSR round trip: byte offsets, 100 ns tick timestamps.
+    #[test]
+    fn msr_roundtrip(reqs in proptest::collection::vec(request_strategy(), 1..100)) {
+        let mut buf = Vec::new();
+        parse::write_msr(&mut buf, &reqs).expect("write");
+        let parsed = parse::parse_msr(&buf[..]).expect("parse");
+        prop_assert_eq!(parsed.len(), reqs.len());
+        let t0 = (reqs[0].arrival_us * 10.0).round() / 10.0;
+        for (a, b) in reqs.iter().zip(&parsed) {
+            prop_assert_eq!(a.offset, b.offset);
+            prop_assert_eq!(a.len, b.len);
+            prop_assert_eq!(a.dir, b.dir);
+            prop_assert!(((a.arrival_us - t0) - b.arrival_us).abs() <= 0.2);
+        }
+    }
+
+    /// Arbitrary garbage input never panics: it parses or errors cleanly.
+    #[test]
+    fn parsers_never_panic(input in "\\PC{0,400}") {
+        let _ = parse::parse_spc(input.as_bytes());
+        let _ = parse::parse_msr(input.as_bytes());
+        let _ = parse::parse_auto(&input);
+    }
+
+    /// Line-shaped garbage (comma-separated fields) never panics either.
+    #[test]
+    fn csv_shaped_garbage_never_panics(
+        lines in proptest::collection::vec(
+            proptest::collection::vec("[-0-9a-zA-Z.]{0,12}", 0..9),
+            0..20,
+        )
+    ) {
+        let text: String = lines
+            .iter()
+            .map(|fields| fields.join(","))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let _ = parse::parse_spc(text.as_bytes());
+        let _ = parse::parse_msr(text.as_bytes());
+        let _ = parse::parse_auto(&text);
+    }
+}

@@ -1,0 +1,20 @@
+//! TPFTL reproduction suite — facade crate.
+//!
+//! Re-exports every crate of the workspace so examples and integration
+//! tests can use a single dependency. See the individual crates for the
+//! real documentation:
+//!
+//! * [`flash`] — NAND flash device model.
+//! * [`trace`] — I/O traces: parsers and synthetic workload generators.
+//! * [`core`] — the FTL framework and the page-level FTLs (TPFTL, DFTL,
+//!   S-FTL, CDFTL, optimal, block-level).
+//! * [`sim`] — the trace-driven SSD simulator.
+//! * [`models`] — the paper's analytical models (Section 3.1).
+//! * [`experiments`] — per-table/figure experiment harness.
+
+pub use tpftl_core as core;
+pub use tpftl_experiments as experiments;
+pub use tpftl_flash as flash;
+pub use tpftl_models as models;
+pub use tpftl_sim as sim;
+pub use tpftl_trace as trace;
