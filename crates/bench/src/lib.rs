@@ -1,1 +1,2 @@
-//! Criterion benchmark crate; see benches/.
+//! Benchmark crate; the harness lives in `src/bin/ftlbench.rs` (std-only
+//! timing, no criterion, so the workspace builds offline).

@@ -60,6 +60,12 @@ pub struct SsdEnv {
     /// GC aggregates, updated by [`crate::gc`].
     pub gc_stats: GcStats,
     entries_per_tp: usize,
+    /// `log2(entries_per_tp)` / `entries_per_tp - 1`: the per-page entry
+    /// count is a power of two by construction, so the address-splitting
+    /// helpers on the translate hot path can shift and mask instead of
+    /// paying two hardware divisions per lookup.
+    tp_shift: u32,
+    tp_mask: u32,
 }
 
 impl SsdEnv {
@@ -69,8 +75,15 @@ impl SsdEnv {
         let flash = Flash::new(geom.clone())?;
         let blocks = BlockManager::new(geom.num_blocks, geom.pages_per_block);
         let gtd = Gtd::new(config.num_vtpns() as usize);
+        let entries_per_tp = config.entries_per_tp();
+        assert!(
+            entries_per_tp.is_power_of_two(),
+            "entries_per_tp must be a power of two"
+        );
         Ok(Self {
-            entries_per_tp: config.entries_per_tp(),
+            entries_per_tp,
+            tp_shift: entries_per_tp.trailing_zeros(),
+            tp_mask: (entries_per_tp - 1) as u32,
             config,
             flash,
             blocks,
@@ -103,13 +116,13 @@ impl SsdEnv {
     /// Translation page holding `lpn`'s entry.
     #[inline]
     pub fn vtpn_of(&self, lpn: Lpn) -> Vtpn {
-        lpn / self.entries_per_tp as u32
+        lpn >> self.tp_shift
     }
 
     /// Offset of `lpn`'s entry within its translation page.
     #[inline]
     pub fn offset_of(&self, lpn: Lpn) -> u16 {
-        (lpn as usize % self.entries_per_tp) as u16
+        (lpn & self.tp_mask) as u16
     }
 
     /// Number of free blocks remaining.
@@ -200,10 +213,26 @@ impl SsdEnv {
     /// written (possible only before [`SsdEnv::format`]), returns an
     /// all-unmapped payload without flash traffic.
     pub fn read_translation_entries(&mut self, vtpn: Vtpn, purpose: OpPurpose) -> Result<Vec<Ppn>> {
+        let mut out = Vec::new();
+        self.read_translation_entries_into(vtpn, &mut out, purpose)?;
+        Ok(out)
+    }
+
+    /// Like [`SsdEnv::read_translation_entries`] but reusing `out`
+    /// (cleared, then filled), so a translation miss costs no allocation
+    /// once the caller's scratch buffer has grown to one page.
+    pub fn read_translation_entries_into(
+        &mut self,
+        vtpn: Vtpn,
+        out: &mut Vec<Ppn>,
+        purpose: OpPurpose,
+    ) -> Result<()> {
+        out.clear();
         match self.gtd.get(vtpn) {
-            Some(ppn) => Ok(self.flash.read_translation_payload(ppn, purpose)?.to_vec()),
-            None => Ok(vec![PPN_NONE; self.entries_per_tp]),
+            Some(ppn) => out.extend_from_slice(self.flash.read_translation_payload(ppn, purpose)?),
+            None => out.resize(self.entries_per_tp, PPN_NONE),
         }
+        Ok(())
     }
 
     /// Partial translation-page update: read-modify-write, costing
@@ -266,8 +295,15 @@ impl SsdEnv {
     /// rebuilt by scanning the device, statistics start from zero.
     pub fn remount(config: SsdConfig, flash: Flash, gtd: crate::gtd::Gtd) -> Result<Self> {
         let blocks = crate::blockmgr::BlockManager::rebuild(&flash)?;
+        let entries_per_tp = config.entries_per_tp();
+        assert!(
+            entries_per_tp.is_power_of_two(),
+            "entries_per_tp must be a power of two"
+        );
         Ok(Self {
-            entries_per_tp: config.entries_per_tp(),
+            entries_per_tp,
+            tp_shift: entries_per_tp.trailing_zeros(),
+            tp_mask: (entries_per_tp - 1) as u32,
             config,
             flash,
             blocks,

@@ -13,7 +13,7 @@
 //! The TPFTL paper drops CDFTL from its plots because it "performs worse
 //! than S-FTL in our experiments"; we implement and report it anyway.
 
-use std::collections::HashMap;
+use crate::hash::FxHashMap;
 
 use tpftl_flash::{Lpn, OpPurpose, Ppn, Vtpn, PPN_NONE};
 
@@ -48,9 +48,9 @@ struct CtpPage {
 pub struct Cdftl {
     cmt_cap: usize,
     ctp_cap_pages: usize,
-    cmt_map: HashMap<Lpn, LruIdx>,
+    cmt_map: FxHashMap<Lpn, LruIdx>,
     cmt: LruList<CmtEntry>,
-    ctp: HashMap<Vtpn, CtpPage>,
+    ctp: FxHashMap<Vtpn, CtpPage>,
     ctp_lru: LruList<Vtpn>,
     entries_per_tp: usize,
 }
@@ -76,9 +76,9 @@ impl Cdftl {
         Ok(Self {
             cmt_cap,
             ctp_cap_pages,
-            cmt_map: HashMap::new(),
+            cmt_map: FxHashMap::default(),
             cmt: LruList::new(),
-            ctp: HashMap::new(),
+            ctp: FxHashMap::default(),
             ctp_lru: LruList::new(),
             entries_per_tp: config.entries_per_tp(),
         })

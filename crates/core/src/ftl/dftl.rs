@@ -9,8 +9,8 @@
 //! modifications of a victim block's migrated pages that miss the cache are
 //! combined into one update per translation page.
 
+use crate::hash::FxHashMap;
 use std::collections::BTreeMap;
-use std::collections::HashMap;
 
 use tpftl_flash::{Lpn, OpPurpose, Ppn, PPN_NONE};
 
@@ -43,7 +43,7 @@ enum Segment {
 pub struct Dftl {
     budget_entries: usize,
     protected_cap: usize,
-    map: HashMap<Lpn, (Segment, LruIdx)>,
+    map: FxHashMap<Lpn, (Segment, LruIdx)>,
     probation: LruList<CmtEntry>,
     protected: LruList<CmtEntry>,
 }
@@ -63,7 +63,7 @@ impl Dftl {
         Ok(Self {
             budget_entries,
             protected_cap: ((budget_entries as f64) * PROTECTED_FRAC) as usize,
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             probation: LruList::new(),
             protected: LruList::new(),
         })

@@ -16,7 +16,7 @@
 //! the TPFTL paper mentions). This makes S-FTL behave well on random
 //! workloads while its page granularity exploits sequential ones.
 
-use std::collections::HashMap;
+use crate::hash::FxHashMap;
 
 use tpftl_flash::{Lpn, OpPurpose, Ppn, Vtpn, PPN_NONE};
 
@@ -123,10 +123,10 @@ pub struct Sftl {
     page_budget: usize,
     /// Budget for the dirty buffer.
     dbuf_budget: usize,
-    pages: HashMap<Vtpn, CachedPage>,
+    pages: FxHashMap<Vtpn, CachedPage>,
     page_lru: LruList<Vtpn>,
     pages_bytes: usize,
-    dbuf: HashMap<Lpn, (Ppn, LruIdx)>,
+    dbuf: FxHashMap<Lpn, (Ppn, LruIdx)>,
     dbuf_lru: LruList<Lpn>,
     entries_per_tp: usize,
 }
@@ -149,10 +149,10 @@ impl Sftl {
         Ok(Self {
             page_budget,
             dbuf_budget,
-            pages: HashMap::new(),
+            pages: FxHashMap::default(),
             page_lru: LruList::new(),
             pages_bytes: 0,
-            dbuf: HashMap::new(),
+            dbuf: FxHashMap::default(),
             dbuf_lru: LruList::new(),
             entries_per_tp: config.entries_per_tp(),
         })

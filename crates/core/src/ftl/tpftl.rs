@@ -5,8 +5,9 @@
 //! each holding an entry-level LRU list of its cached mapping entries. The
 //! position of a TP node is decided by its *page-level hotness*, defined as
 //! the average hotness (last-access stamp) of its entry nodes; we maintain
-//! the order in a balanced tree keyed by that average, so victim selection
-//! (the coldest node) and repositioning are `O(log n)`.
+//! the order in a position-tracked binary min-heap keyed by that average,
+//! so victim selection (the coldest node) is `O(1)` and repositioning is
+//! `O(log n)` worst case — and allocation-free, unlike a balanced tree.
 //!
 //! Four independently switchable techniques (the Figure 7/8 ablations):
 //!
@@ -38,12 +39,11 @@
 //! bytes against DFTL's 8 (the Figure 10 space-utilization gain); a TP node
 //! costs 8 bytes of overhead.
 
-use std::collections::{BTreeSet, HashMap};
-
 use tpftl_flash::{Lpn, OpPurpose, Ppn, Vtpn, PPN_NONE};
 
 use crate::env::SsdEnv;
 use crate::ftl::{group_by_vtpn, AccessCtx, Ftl, TpDistEntry};
+use crate::hash::FxHashMap;
 use crate::lru::{LruIdx, LruList};
 use crate::{FtlError, Result, SsdConfig};
 
@@ -149,23 +149,40 @@ struct EntryNode {
 struct TpNode {
     /// Entry-level LRU list (MRU = hottest entry).
     entries: LruList<EntryNode>,
-    by_offset: HashMap<u16, LruIdx>,
+    /// Dense offset → handle table, one slot per entry of the translation
+    /// page ([`LruIdx::NONE`] = not cached). An offset lookup is a single
+    /// indexed load — the hottest operation of the whole FTL — instead of
+    /// a hash probe. Tables are pooled by [`TpFtl`] across node churn, so
+    /// node creation allocates only until the pool has warmed up.
+    by_offset: Box<[LruIdx]>,
     /// Sum of entry stamps; hotness = sum / len.
     stamp_sum: u64,
     dirty_count: u32,
     /// Current key in the page-level order ((hotness, vtpn)).
     hot_key: u64,
+    /// Index of this node's slot in [`TpFtl::order`]; maintained by the
+    /// heap primitives so a reposition starts at the right slot without a
+    /// search.
+    heap_pos: u32,
 }
 
 impl TpNode {
-    fn new() -> Self {
+    fn new(by_offset: Box<[LruIdx]>) -> Self {
         Self {
             entries: LruList::new(),
-            by_offset: HashMap::new(),
+            by_offset,
             stamp_sum: 0,
             dirty_count: 0,
             hot_key: 0,
+            heap_pos: 0,
         }
+    }
+
+    /// Handle of the entry caching `offset`, if any.
+    #[inline]
+    fn idx_of(&self, offset: u16) -> Option<LruIdx> {
+        let idx = self.by_offset[offset as usize];
+        (!idx.is_none()).then_some(idx)
     }
 
     fn len(&self) -> usize {
@@ -185,15 +202,32 @@ impl TpNode {
 pub struct TpFtl {
     cfg: TpftlConfig,
     budget_bytes: usize,
-    nodes: HashMap<Vtpn, TpNode>,
-    /// Page-level order: coldest node first, keyed by (hotness, vtpn).
-    order: BTreeSet<(u64, Vtpn)>,
+    entries_per_tp: usize,
+    nodes: FxHashMap<Vtpn, TpNode>,
+    /// Page-level order: a binary min-heap over `(hotness, vtpn)`, coldest
+    /// node at the root. Only two queries are ever needed — peek the
+    /// coldest node and move one node after its hotness changes — so the
+    /// heap replaces a balanced tree: peeks are `O(1)`, repositions sift a
+    /// level or two in the common case (a touch barely moves a node's
+    /// average stamp), and no tree nodes are allocated or freed on the
+    /// translate hot path. Victim selection is identical because the
+    /// minimum of the same key set under the same total order is unique.
+    order: Vec<(u64, Vtpn)>,
     bytes_used: usize,
     /// Global access clock driving entry stamps.
     clock: u64,
     /// The Section 4.3 counter: +1 per TP-node load, −1 per eviction.
     counter: i32,
     selective_active: bool,
+    /// Recycled `by_offset` tables of dismantled nodes (all-NONE), so node
+    /// churn stops allocating once the pool covers the working set.
+    table_pool: Vec<Box<[LruIdx]>>,
+    /// Reusable buffers for the request path (batch writebacks, GC misses,
+    /// translation-page payloads): taken, filled, returned — never
+    /// reallocated once grown.
+    scratch_updates: Vec<(u16, Ppn)>,
+    scratch_misses: Vec<(Lpn, Ppn)>,
+    scratch_payload: Vec<Ppn>,
 }
 
 impl TpFtl {
@@ -211,13 +245,32 @@ impl TpFtl {
         Ok(Self {
             cfg,
             budget_bytes,
-            nodes: HashMap::new(),
-            order: BTreeSet::new(),
+            entries_per_tp: config.entries_per_tp(),
+            nodes: FxHashMap::default(),
+            order: Vec::new(),
             bytes_used: 0,
             clock: 0,
             counter: 0,
             selective_active: false,
+            table_pool: Vec::new(),
+            scratch_updates: Vec::new(),
+            scratch_misses: Vec::new(),
+            scratch_payload: Vec::new(),
         })
+    }
+
+    /// A fresh or recycled all-NONE offset table.
+    fn alloc_table(&mut self) -> Box<[LruIdx]> {
+        self.table_pool
+            .pop()
+            .unwrap_or_else(|| vec![LruIdx::NONE; self.entries_per_tp].into_boxed_slice())
+    }
+
+    /// Returns a dismantled node's table (all entries removed, hence
+    /// all-NONE again) to the pool.
+    fn recycle_table(&mut self, table: Box<[LruIdx]>) {
+        debug_assert!(table.iter().all(|i| i.is_none()), "table not cleared");
+        self.table_pool.push(table);
     }
 
     /// Whether selective prefetching is currently active (test hook).
@@ -231,11 +284,117 @@ impl TpFtl {
     }
 
     // ---- Page-level order maintenance ---------------------------------------
+    //
+    // Invariant: `order[n.heap_pos] == (n.hot_key, vtpn)` for every cached
+    // node `n`, and `order` satisfies the min-heap property under the
+    // lexicographic order on `(hot_key, vtpn)`.
 
-    fn reposition(order: &mut BTreeSet<(u64, Vtpn)>, vtpn: Vtpn, node: &mut TpNode) {
-        order.remove(&(node.hot_key, vtpn));
-        node.hot_key = node.hotness();
-        order.insert((node.hot_key, vtpn));
+    /// Swaps two heap slots and fixes both nodes' back-pointers.
+    fn heap_swap(
+        order: &mut [(u64, Vtpn)],
+        nodes: &mut FxHashMap<Vtpn, TpNode>,
+        a: usize,
+        b: usize,
+    ) {
+        order.swap(a, b);
+        nodes
+            .get_mut(&order[a].1)
+            .expect("heap slot has a node")
+            .heap_pos = a as u32;
+        nodes
+            .get_mut(&order[b].1)
+            .expect("heap slot has a node")
+            .heap_pos = b as u32;
+    }
+
+    fn heap_sift_up(order: &mut [(u64, Vtpn)], nodes: &mut FxHashMap<Vtpn, TpNode>, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if order[i] < order[parent] {
+                Self::heap_swap(order, nodes, i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_sift_down(
+        order: &mut [(u64, Vtpn)],
+        nodes: &mut FxHashMap<Vtpn, TpNode>,
+        mut i: usize,
+    ) {
+        loop {
+            let left = 2 * i + 1;
+            if left >= order.len() {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < order.len() && order[right] < order[left] {
+                right
+            } else {
+                left
+            };
+            if order[child] < order[i] {
+                Self::heap_swap(order, nodes, i, child);
+                i = child;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Adds `vtpn` (whose node must already be in `nodes`, with `hot_key`
+    /// set) to the heap.
+    fn heap_insert(&mut self, vtpn: Vtpn) {
+        let i = self.order.len();
+        let node = self.nodes.get_mut(&vtpn).expect("inserting a cached node");
+        node.heap_pos = i as u32;
+        self.order.push((node.hot_key, vtpn));
+        Self::heap_sift_up(&mut self.order, &mut self.nodes, i);
+    }
+
+    /// Re-keys the heap slot `i` to `new_key` and restores the heap
+    /// property. The slot's node must already carry `hot_key == new_key`.
+    fn heap_update(&mut self, i: usize, new_key: u64) {
+        let old_key = self.order[i].0;
+        if new_key == old_key {
+            return;
+        }
+        self.order[i].0 = new_key;
+        if new_key < old_key {
+            Self::heap_sift_up(&mut self.order, &mut self.nodes, i);
+        } else {
+            Self::heap_sift_down(&mut self.order, &mut self.nodes, i);
+        }
+    }
+
+    /// Removes the heap slot `i` (the dismantled node itself is left to the
+    /// caller to drop from `nodes`).
+    fn heap_remove(&mut self, i: usize) {
+        let last = self.order.pop().expect("removal from empty heap");
+        if i < self.order.len() {
+            self.order[i] = last;
+            self.nodes
+                .get_mut(&last.1)
+                .expect("heap slot has a node")
+                .heap_pos = i as u32;
+            Self::heap_sift_up(&mut self.order, &mut self.nodes, i);
+            Self::heap_sift_down(&mut self.order, &mut self.nodes, i);
+        }
+    }
+
+    /// Recomputes `vtpn`'s hotness key and repositions its heap slot.
+    fn reposition(&mut self, vtpn: Vtpn) {
+        let node = self
+            .nodes
+            .get_mut(&vtpn)
+            .expect("repositioning a cached node");
+        let new_key = node.hotness();
+        node.hot_key = new_key;
+        let i = node.heap_pos as usize;
+        debug_assert_eq!(self.order[i].1, vtpn, "heap back-pointer out of sync");
+        self.heap_update(i, new_key);
     }
 
     fn on_node_created(&mut self) {
@@ -256,21 +415,28 @@ impl TpFtl {
 
     // ---- Entry plumbing ------------------------------------------------------
 
-    /// Touches an existing entry: MRU move, stamp refresh, node reposition.
-    fn touch_entry(&mut self, vtpn: Vtpn, offset: u16) {
-        let node = self.nodes.get_mut(&vtpn).expect("touch on cached node");
-        let idx = *node.by_offset.get(&offset).expect("touch on cached entry");
+    /// Hit path: if `vtpn:offset` is cached, returns its PPN after the MRU
+    /// move, stamp refresh and node reposition — one node lookup for the
+    /// probe and the touch combined.
+    fn lookup_touch(&mut self, vtpn: Vtpn, offset: u16) -> Option<Ppn> {
+        let node = self.nodes.get_mut(&vtpn)?;
+        let idx = node.idx_of(offset)?;
         node.entries.touch(idx);
         let e = node.entries.get_mut(idx).expect("valid handle");
+        let ppn = e.ppn;
         node.stamp_sum -= e.stamp;
         e.stamp = self.clock;
         node.stamp_sum += self.clock;
-        Self::reposition(&mut self.order, vtpn, node);
+        let new_key = node.stamp_sum / node.entries.len() as u64;
+        node.hot_key = new_key;
+        let i = node.heap_pos as usize;
+        self.heap_update(i, new_key);
+        Some(ppn)
     }
 
     fn cached_ppn(&self, vtpn: Vtpn, offset: u16) -> Option<Ppn> {
         let node = self.nodes.get(&vtpn)?;
-        let idx = *node.by_offset.get(&offset)?;
+        let idx = node.idx_of(offset)?;
         Some(node.entries.get(idx).expect("valid handle").ppn)
     }
 
@@ -282,7 +448,7 @@ impl TpFtl {
         };
         let mut n = 0;
         let mut off = offset;
-        while off > 0 && node.by_offset.contains_key(&(off - 1)) {
+        while off > 0 && !node.by_offset[off as usize - 1].is_none() {
             n += 1;
             off -= 1;
         }
@@ -294,22 +460,22 @@ impl TpFtl {
         let created = !self.nodes.contains_key(&vtpn);
         if created {
             self.bytes_used += NODE_BYTES;
-            let node = TpNode::new();
-            self.order.insert((node.hot_key, vtpn));
-            self.nodes.insert(vtpn, node);
+            let table = self.alloc_table();
+            self.nodes.insert(vtpn, TpNode::new(table));
+            self.heap_insert(vtpn);
         }
         let node = self.nodes.get_mut(&vtpn).expect("present or just created");
-        debug_assert!(!node.by_offset.contains_key(&offset), "double insert");
+        debug_assert!(node.by_offset[offset as usize].is_none(), "double insert");
         let idx = node.entries.push_mru(EntryNode {
             offset,
             ppn,
             dirty: false,
             stamp: self.clock,
         });
-        node.by_offset.insert(offset, idx);
+        node.by_offset[offset as usize] = idx;
         node.stamp_sum += self.clock;
         self.bytes_used += ENTRY_BYTES;
-        Self::reposition(&mut self.order, vtpn, node);
+        self.reposition(vtpn);
         if created {
             self.on_node_created();
         }
@@ -336,30 +502,31 @@ impl TpFtl {
     /// Evicts one entry from the coldest TP node, handling writeback and
     /// batch-update; returns the bytes freed.
     fn evict_one(&mut self, env: &mut SsdEnv) -> Result<usize> {
-        let &(_, vtpn) = self.order.iter().next().expect("eviction from empty cache");
+        let &(_, vtpn) = self.order.first().expect("eviction from empty cache");
         let (victim_idx, victim) = self.pick_victim_in(vtpn);
         env.note_replacement(victim.dirty);
 
         if victim.dirty {
             if self.cfg.batch_update {
                 // Write back every dirty entry of the node in one update;
-                // the others stay cached, now clean (Section 4.4).
+                // the others stay cached, now clean (Section 4.4). The
+                // update list lives in a reusable scratch buffer; offsets
+                // are unique per node, so the sort makes the order
+                // deterministic regardless of collection order.
+                let mut updates = std::mem::take(&mut self.scratch_updates);
+                updates.clear();
                 let node = self.nodes.get_mut(&vtpn).expect("victim node");
-                let mut updates: Vec<(u16, Ppn)> = Vec::with_capacity(node.dirty_count as usize);
-                // Collect in deterministic offset order.
-                let mut dirty_idx: Vec<LruIdx> = Vec::new();
-                for (idx, e) in node.entries.iter_lru() {
+                node.entries.for_each_value_mut(|e| {
                     if e.dirty {
                         updates.push((e.offset, e.ppn));
-                        dirty_idx.push(idx);
+                        e.dirty = false;
                     }
-                }
+                });
                 updates.sort_unstable_by_key(|u| u.0);
-                for idx in dirty_idx {
-                    node.entries.get_mut(idx).expect("valid handle").dirty = false;
-                }
                 node.dirty_count = 0;
-                env.update_translation_page(vtpn, &updates, OpPurpose::Translation)?;
+                let res = env.update_translation_page(vtpn, &updates, OpPurpose::Translation);
+                self.scratch_updates = updates;
+                res?;
             } else {
                 env.update_translation_page(
                     vtpn,
@@ -378,16 +545,18 @@ impl TpFtl {
         // Remove the (now clean) victim.
         let node = self.nodes.get_mut(&vtpn).expect("victim node");
         let e = node.entries.remove(victim_idx);
-        node.by_offset.remove(&e.offset);
+        node.by_offset[e.offset as usize] = LruIdx::NONE;
         node.stamp_sum -= e.stamp;
         let mut freed = ENTRY_BYTES;
         if node.entries.is_empty() {
-            self.order.remove(&(node.hot_key, vtpn));
-            self.nodes.remove(&vtpn);
+            let i = node.heap_pos as usize;
+            self.heap_remove(i);
+            let node = self.nodes.remove(&vtpn).expect("present");
+            self.recycle_table(node.by_offset);
             freed += NODE_BYTES;
             self.on_node_removed();
         } else {
-            Self::reposition(&mut self.order, vtpn, node);
+            self.reposition(vtpn);
         }
         self.bytes_used -= freed;
         Ok(freed)
@@ -415,8 +584,7 @@ impl TpFtl {
             let evictions = deficit.div_ceil(ENTRY_BYTES);
             let lru_len = self
                 .order
-                .iter()
-                .next()
+                .first()
                 .map(|&(_, v)| self.nodes[&v].len())
                 .unwrap_or(0);
             if evictions <= lru_len || prefetch == 0 {
@@ -441,9 +609,8 @@ impl Ftl for TpFtl {
         let vtpn = env.vtpn_of(lpn);
         let offset = env.offset_of(lpn);
 
-        if let Some(ppn) = self.cached_ppn(vtpn, offset) {
+        if let Some(ppn) = self.lookup_touch(vtpn, offset) {
             env.note_lookup(true);
-            self.touch_entry(vtpn, offset);
             return Ok((ppn != PPN_NONE).then_some(ppn));
         }
         env.note_lookup(false);
@@ -466,8 +633,15 @@ impl Ftl for TpFtl {
         let granted = self.make_room(env, vtpn, want)?;
 
         // One translation-page read serves the requested entry and every
-        // prefetched successor (they share the page by rule 1).
-        let payload = env.read_translation_entries(vtpn, OpPurpose::Translation)?;
+        // prefetched successor (they share the page by rule 1). The payload
+        // lands in a reusable scratch buffer: steady-state misses allocate
+        // nothing.
+        let mut payload = std::mem::take(&mut self.scratch_payload);
+        let read = env.read_translation_entries_into(vtpn, &mut payload, OpPurpose::Translation);
+        if let Err(e) = read {
+            self.scratch_payload = payload;
+            return Err(e);
+        }
         let requested_ppn = payload[offset as usize];
         for i in 0..=granted as u16 {
             let off = offset + i;
@@ -475,6 +649,7 @@ impl Ftl for TpFtl {
                 self.insert_entry(vtpn, off, payload[off as usize]);
             }
         }
+        self.scratch_payload = payload;
         Ok((requested_ppn != PPN_NONE).then_some(requested_ppn))
     }
 
@@ -485,7 +660,7 @@ impl Ftl for TpFtl {
             .nodes
             .get_mut(&vtpn)
             .expect("update_mapping contract: entry was translated immediately before");
-        let idx = *node.by_offset.get(&offset).expect("entry cached");
+        let idx = node.idx_of(offset).expect("entry cached");
         let e = node.entries.get_mut(idx).expect("valid handle");
         e.ppn = new_ppn;
         if !e.dirty {
@@ -497,14 +672,16 @@ impl Ftl for TpFtl {
 
     fn on_gc_data_block(&mut self, env: &mut SsdEnv, moved: &[(Lpn, Ppn)]) -> Result<u64> {
         let mut hits = 0u64;
-        let mut misses: Vec<(Lpn, Ppn)> = Vec::new();
+        let mut misses = std::mem::take(&mut self.scratch_misses);
+        misses.clear();
         for &(lpn, new_ppn) in moved {
             let vtpn = env.vtpn_of(lpn);
             let offset = env.offset_of(lpn);
-            match self.nodes.get_mut(&vtpn).and_then(|n| {
-                let idx = *n.by_offset.get(&offset)?;
-                Some((n, idx))
-            }) {
+            match self
+                .nodes
+                .get_mut(&vtpn)
+                .and_then(|n| n.idx_of(offset).map(|idx| (n, idx)))
+            {
                 Some((node, idx)) => {
                     let e = node.entries.get_mut(idx).expect("valid handle");
                     e.ppn = new_ppn;
@@ -517,30 +694,31 @@ impl Ftl for TpFtl {
                 None => misses.push((lpn, new_ppn)),
             }
         }
+        let mut result = Ok(hits);
         for (vtpn, mut updates) in group_by_vtpn(env, &misses) {
             if self.cfg.batch_update {
                 // Piggyback every cached dirty entry of this page on the
                 // unavoidable update (Section 4.4), marking them clean.
                 if let Some(node) = self.nodes.get_mut(&vtpn) {
                     if node.dirty_count > 0 {
-                        let mut dirty_idx = Vec::new();
-                        for (idx, e) in node.entries.iter_lru() {
+                        node.entries.for_each_value_mut(|e| {
                             if e.dirty {
                                 updates.push((e.offset, e.ppn));
-                                dirty_idx.push(idx);
+                                e.dirty = false;
                             }
-                        }
-                        for idx in dirty_idx {
-                            node.entries.get_mut(idx).expect("valid handle").dirty = false;
-                        }
+                        });
                         node.dirty_count = 0;
                     }
                 }
             }
             updates.sort_unstable_by_key(|u| u.0);
-            env.update_translation_page(vtpn, &updates, OpPurpose::GcTranslation)?;
+            if let Err(e) = env.update_translation_page(vtpn, &updates, OpPurpose::GcTranslation) {
+                result = Err(e);
+                break;
+            }
         }
-        Ok(hits)
+        self.scratch_misses = misses;
+        result
     }
 
     fn cache_bytes_used(&self) -> usize {
@@ -559,10 +737,7 @@ impl Ftl for TpFtl {
 
     fn mark_clean(&mut self, vtpn: Vtpn) {
         if let Some(node) = self.nodes.get_mut(&vtpn) {
-            let idxs: Vec<_> = node.entries.iter_lru().map(|(i, _)| i).collect();
-            for i in idxs {
-                node.entries.get_mut(i).expect("live handle").dirty = false;
-            }
+            node.entries.for_each_value_mut(|e| e.dirty = false);
             node.dirty_count = 0;
         }
     }
@@ -923,7 +1098,46 @@ mod tests {
         for _ in 0..5 {
             read(&mut ftl, &mut env, 0);
         }
-        let coldest = ftl.order.iter().next().unwrap().1;
+        let coldest = ftl.order.first().unwrap().1;
         assert_eq!(coldest, 1, "node 1 (vtpn 1) must now be coldest");
+    }
+
+    #[test]
+    fn order_heap_invariants_hold_under_random_workload() {
+        let (mut ftl, mut env) = setup_sized(64 << 20, 400, "rsbc");
+        for i in 0..4000u32 {
+            let lpn = (i.wrapping_mul(2654435761) >> 8) % 16384;
+            driver::serve_page_access(
+                &mut ftl,
+                &mut env,
+                lpn,
+                AccessCtx {
+                    is_write: i % 4 == 0,
+                    remaining_in_request: (i % 7),
+                },
+            )
+            .unwrap();
+            // The heap mirrors the node map exactly...
+            assert_eq!(ftl.order.len(), ftl.nodes.len());
+        }
+        assert!(
+            ftl.order.len() >= 4,
+            "workload too small to exercise the heap"
+        );
+        // ...every slot's key and back-pointer are in sync with its node...
+        for (i, &(key, vtpn)) in ftl.order.iter().enumerate() {
+            let node = &ftl.nodes[&vtpn];
+            assert_eq!(node.heap_pos as usize, i, "back-pointer of vtpn {vtpn}");
+            assert_eq!(node.hot_key, key, "stale key for vtpn {vtpn}");
+            assert_eq!(node.hotness(), key, "key != hotness for vtpn {vtpn}");
+        }
+        // ...and the min-heap property holds, so order[0] is the coldest.
+        for i in 1..ftl.order.len() {
+            let parent = (i - 1) / 2;
+            assert!(
+                ftl.order[parent] <= ftl.order[i],
+                "heap property violated at slot {i}"
+            );
+        }
     }
 }

@@ -41,6 +41,7 @@ pub mod error;
 pub mod ftl;
 pub mod gc;
 pub mod gtd;
+pub mod hash;
 pub mod lru;
 pub mod recovery;
 pub mod stats;

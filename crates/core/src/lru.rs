@@ -18,6 +18,28 @@ pub struct LruIdx {
     gen: u32,
 }
 
+impl LruIdx {
+    /// Sentinel handle that resolves to nothing, for dense index tables
+    /// (`Box<[LruIdx]>`) where an `Option` would double the entry size.
+    /// No live handle ever equals it: slots never reach `u32::MAX`.
+    pub const NONE: LruIdx = LruIdx {
+        slot: NIL,
+        gen: u32::MAX,
+    };
+
+    /// Whether this is the [`LruIdx::NONE`] sentinel.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.slot == NIL
+    }
+}
+
+impl Default for LruIdx {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Slot<V> {
     prev: u32, // toward MRU
@@ -70,6 +92,32 @@ impl<V> LruList<V> {
             lru: NIL,
             len: 0,
         }
+    }
+
+    /// Creates an empty list whose slab holds `cap` elements before
+    /// reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            mru: NIL,
+            lru: NIL,
+            len: 0,
+        }
+    }
+
+    /// Reserves slab room for `additional` more elements.
+    pub fn reserve(&mut self, additional: usize) {
+        let spare = self.free.len() + (self.slots.capacity() - self.slots.len());
+        if additional > spare {
+            self.slots.reserve(additional - spare);
+        }
+    }
+
+    /// Number of slab slots ever allocated (live + free-list). Stays flat
+    /// under churn when the free list is reused correctly.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
     }
 
     /// Number of elements.
@@ -271,6 +319,17 @@ impl<V> LruList<V> {
     pub fn pop_lru(&mut self) -> Option<V> {
         let (idx, _) = self.peek_lru()?;
         Some(self.remove(idx))
+    }
+
+    /// Applies `f` to every element, in unspecified (slab) order, without
+    /// touching recency. The allocation-free alternative to collecting
+    /// `iter_lru` handles just to call `get_mut` on each.
+    pub fn for_each_value_mut<F: FnMut(&mut V)>(&mut self, mut f: F) {
+        for s in &mut self.slots {
+            if let Some(v) = s.val.as_mut() {
+                f(v);
+            }
+        }
     }
 
     /// Iterates from the LRU (coldest) end toward the MRU end.

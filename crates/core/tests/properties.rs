@@ -1,13 +1,15 @@
-//! Property tests over the FTL framework.
+//! Randomized model tests over the FTL framework.
 //!
 //! * `LruList` against a `VecDeque` reference model.
-//! * S-FTL's incremental run accounting against a full recount.
 //! * Every demand-paging FTL against a shadow mapping oracle under random
 //!   workloads with GC pressure: all resolved mappings must point at the
 //!   valid flash page holding that LPN, no LPN may own two valid pages, and
 //!   cache budgets must hold at every step.
+//!
+//! The generators are driven by the in-tree seeded PRNG (`tpftl-rng`) —
+//! proptest is unavailable offline — so every case is identified by its
+//! seed and replays deterministically. Failures print the seed.
 
-use proptest::prelude::*;
 use std::collections::VecDeque;
 
 use tpftl_core::driver;
@@ -17,6 +19,7 @@ use tpftl_core::ftl::{
 };
 use tpftl_core::lru::LruList;
 use tpftl_core::SsdConfig;
+use tpftl_rng::Rng64;
 
 // ---- LruList vs VecDeque model ----------------------------------------------
 
@@ -29,26 +32,27 @@ enum LruOp {
     PopLru,
 }
 
-fn lru_op() -> impl Strategy<Value = LruOp> {
-    prop_oneof![
-        any::<u32>().prop_map(LruOp::PushMru),
-        any::<u32>().prop_map(LruOp::PushLru),
-        (0usize..64).prop_map(LruOp::TouchNth),
-        (0usize..64).prop_map(LruOp::RemoveNth),
-        Just(LruOp::PopLru),
-    ]
+fn lru_op(rng: &mut Rng64) -> LruOp {
+    match rng.range_u32(0, 5) {
+        0 => LruOp::PushMru(rng.next_u64() as u32),
+        1 => LruOp::PushLru(rng.next_u64() as u32),
+        2 => LruOp::TouchNth(rng.range_usize(0, 64)),
+        3 => LruOp::RemoveNth(rng.range_usize(0, 64)),
+        _ => LruOp::PopLru,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn lru_list_matches_vecdeque_model(ops in proptest::collection::vec(lru_op(), 1..200)) {
+#[test]
+fn lru_list_matches_vecdeque_model() {
+    for seed in 0..512u64 {
+        let mut rng = Rng64::seed_from_u64(0x1070 + seed);
+        let n_ops = rng.range_usize(1, 200);
         let mut list = LruList::new();
         // Model: front = LRU, back = MRU; holds (value, handle).
         let mut model: VecDeque<(u32, tpftl_core::lru::LruIdx)> = VecDeque::new();
 
-        for op in ops {
+        for step in 0..n_ops {
+            let op = lru_op(&mut rng);
             match op {
                 LruOp::PushMru(v) => {
                     let idx = list.push_mru(v);
@@ -70,21 +74,78 @@ proptest! {
                     if !model.is_empty() {
                         let n = n % model.len();
                         let (v, idx) = model.remove(n).expect("in range");
-                        prop_assert_eq!(list.remove(idx), v);
+                        assert_eq!(list.remove(idx), v, "seed {seed} step {step}");
                     }
                 }
                 LruOp::PopLru => {
                     let got = list.pop_lru();
                     let want = model.pop_front().map(|(v, _)| v);
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want, "seed {seed} step {step}");
                 }
             }
-            prop_assert_eq!(list.len(), model.len());
+            assert_eq!(list.len(), model.len(), "seed {seed} step {step}");
             let order: Vec<u32> = list.iter_lru().map(|(_, v)| *v).collect();
             let want: Vec<u32> = model.iter().map(|(v, _)| *v).collect();
-            prop_assert_eq!(order, want);
+            assert_eq!(order, want, "seed {seed} step {step}");
         }
     }
+}
+
+/// Handles stay valid while unrelated entries churn: a surviving entry's
+/// index must keep resolving to its value no matter how many pushes,
+/// removals, and slab-slot reuses happen around it.
+#[test]
+fn lru_index_stability_under_churn() {
+    let mut rng = Rng64::seed_from_u64(0x57AB);
+    let mut list = LruList::new();
+    let anchors: Vec<(u32, _)> = (0..16u32)
+        .map(|v| (v | 0x8000_0000, list.push_mru(v | 0x8000_0000)))
+        .collect();
+    let mut churn: Vec<_> = Vec::new();
+    for step in 0..10_000u32 {
+        if churn.is_empty() || rng.gen_bool(0.55) {
+            churn.push(list.push_mru(step));
+        } else {
+            let at = rng.range_usize(0, churn.len());
+            list.remove(churn.swap_remove(at));
+        }
+        if step % 97 == 0 {
+            for (v, idx) in &anchors {
+                assert_eq!(list.get(*idx), Some(v), "anchor lost at step {step}");
+            }
+        }
+    }
+    for (v, idx) in &anchors {
+        assert_eq!(list.get(*idx), Some(v));
+    }
+}
+
+/// The slab recycles freed slots through its free list: steady-state churn
+/// must not grow the slot arena beyond its high-water mark, however long it
+/// runs.
+#[test]
+fn lru_free_list_reuses_slots_without_growth() {
+    let mut rng = Rng64::seed_from_u64(0xF2EE);
+    let mut list = LruList::new();
+    let mut live: Vec<_> = (0..64u32).map(|v| list.push_mru(v)).collect();
+    let high_water = list.slot_count();
+    assert_eq!(high_water, 64);
+    for step in 0..10_000u32 {
+        // Replace a random entry: the removal frees a slot, the push must
+        // take it back instead of extending the slab.
+        let at = rng.range_usize(0, live.len());
+        list.remove(live.swap_remove(at));
+        live.push(list.push_mru(step));
+        assert_eq!(list.len(), 64);
+        assert_eq!(
+            list.slot_count(),
+            high_water,
+            "slab grew during steady-state churn at step {step}"
+        );
+    }
+    // Growth beyond the high-water mark allocates fresh slots again.
+    live.push(list.push_mru(u32::MAX));
+    assert_eq!(list.slot_count(), high_water + 1);
 }
 
 // ---- FTL mapping consistency under random workloads ---------------------------
@@ -102,6 +163,19 @@ enum FtlKind {
     TpftlB,
     TpftlRs,
 }
+
+const ALL_KINDS: [FtlKind; 10] = [
+    FtlKind::Optimal,
+    FtlKind::Dftl,
+    FtlKind::Sftl,
+    FtlKind::Cdftl,
+    FtlKind::Zftl,
+    FtlKind::Fast,
+    FtlKind::TpftlFull,
+    FtlKind::TpftlBare,
+    FtlKind::TpftlB,
+    FtlKind::TpftlRs,
+];
 
 fn build(kind: FtlKind, config: &SsdConfig) -> Box<dyn Ftl> {
     match kind {
@@ -126,21 +200,6 @@ fn build(kind: FtlKind, config: &SsdConfig) -> Box<dyn Ftl> {
     }
 }
 
-fn ftl_kind() -> impl Strategy<Value = FtlKind> {
-    prop_oneof![
-        Just(FtlKind::Optimal),
-        Just(FtlKind::Dftl),
-        Just(FtlKind::Sftl),
-        Just(FtlKind::Cdftl),
-        Just(FtlKind::Zftl),
-        Just(FtlKind::Fast),
-        Just(FtlKind::TpftlFull),
-        Just(FtlKind::TpftlBare),
-        Just(FtlKind::TpftlB),
-        Just(FtlKind::TpftlRs),
-    ]
-}
-
 #[derive(Debug, Clone, Copy)]
 struct Access {
     lpn_seed: u32,
@@ -148,30 +207,38 @@ struct Access {
     write: bool,
 }
 
-fn access() -> impl Strategy<Value = Access> {
-    (any::<u32>(), 1u32..6, any::<bool>()).prop_map(|(lpn_seed, len, write)| Access {
-        lpn_seed,
-        len,
-        write,
-    })
+fn access(rng: &mut Rng64) -> Access {
+    Access {
+        lpn_seed: rng.next_u64() as u32,
+        len: rng.range_u32(1, 6),
+        write: rng.gen_bool(0.5),
+    }
 }
 
-proptest! {
-    // Each case runs a few hundred page accesses; keep the count moderate.
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn accesses(rng: &mut Rng64, lo: usize, hi: usize) -> Vec<Access> {
+    let n = rng.range_usize(lo, hi);
+    (0..n).map(|_| access(rng)).collect()
+}
 
-    #[test]
-    fn ftl_mapping_matches_flash_oracle(
-        kind in ftl_kind(),
-        prefill in prop_oneof![Just(0.0f64), Just(0.6f64)],
-        accesses in proptest::collection::vec(access(), 50..250),
-    ) {
+#[test]
+fn ftl_mapping_matches_flash_oracle() {
+    // Each case runs a few hundred page accesses; keep the count moderate.
+    for case in 0..48u64 {
+        let mut rng = Rng64::seed_from_u64(0xF71 + case);
+        let kind = ALL_KINDS[rng.range_usize(0, ALL_KINDS.len())];
+        let prefill = if rng.gen_bool(0.5) { 0.6 } else { 0.0 };
+        let accesses = accesses(&mut rng, 50, 250);
+
         // 8 MB logical space, hot region to force GC and evictions.
         let mut config = SsdConfig::paper_default(8 << 20);
         // Small cache: S-FTL/CDFTL need a whole page + slack.
         config.cache_bytes = config.gtd_bytes() + 10 * 1024;
         // The block-mapping FAST FTL does not support pre-fill.
-        config.prefill_frac = if matches!(kind, FtlKind::Fast) { 0.0 } else { prefill };
+        config.prefill_frac = if matches!(kind, FtlKind::Fast) {
+            0.0
+        } else {
+            prefill
+        };
         let logical_pages = config.logical_pages() as u32;
         let mut env = SsdEnv::new(config.clone()).expect("env");
         let mut ftl = build(kind, &config);
@@ -190,8 +257,7 @@ proptest! {
             // Concentrate in a hot quarter of the space to trigger GC.
             let start = a.lpn_seed % (logical_pages / 4);
             let len = a.len.min(logical_pages - start);
-            driver::serve_request(ftl.as_mut(), &mut env, start, len, a.write)
-                .expect("serve");
+            driver::serve_request(ftl.as_mut(), &mut env, start, len, a.write).expect("serve");
             if a.write {
                 for lpn in start..start + len {
                     written[lpn as usize] = true;
@@ -203,7 +269,10 @@ proptest! {
         let mut owner = std::collections::HashMap::new();
         for (ppn, tag, is_tp) in env.flash().scan_valid() {
             if !is_tp {
-                prop_assert!(owner.insert(tag, ppn).is_none(), "LPN {} double-mapped", tag);
+                assert!(
+                    owner.insert(tag, ppn).is_none(),
+                    "case {case} ({kind:?}): LPN {tag} double-mapped"
+                );
             }
         }
         // Oracle 2: every written LPN resolves through the FTL to the
@@ -214,39 +283,50 @@ proptest! {
                 .expect("translate");
             match (written[lpn as usize], got) {
                 (true, Some(ppn)) => {
-                    prop_assert_eq!(owner.get(&lpn).copied(), Some(ppn), "LPN {}", lpn);
+                    assert_eq!(
+                        owner.get(&lpn).copied(),
+                        Some(ppn),
+                        "case {case} ({kind:?}): LPN {lpn}"
+                    );
                 }
-                (true, None) => prop_assert!(false, "written LPN {lpn} lost its mapping"),
-                (false, Some(_)) => prop_assert!(false, "unwritten LPN {lpn} is mapped"),
+                (true, None) => {
+                    panic!("case {case} ({kind:?}): written LPN {lpn} lost its mapping")
+                }
+                (false, Some(_)) => panic!("case {case} ({kind:?}): unwritten LPN {lpn} is mapped"),
                 (false, None) => {}
             }
         }
         // Oracle 3: lookup accounting is exact.
-        prop_assert_eq!(
+        assert_eq!(
             env.stats.lookups,
-            accesses.iter().map(|a| {
-                let start = a.lpn_seed % (logical_pages / 4);
-                a.len.min(logical_pages - start) as u64
-            }).sum::<u64>() + logical_pages as u64
+            accesses
+                .iter()
+                .map(|a| {
+                    let start = a.lpn_seed % (logical_pages / 4);
+                    a.len.min(logical_pages - start) as u64
+                })
+                .sum::<u64>()
+                + logical_pages as u64,
+            "case {case} ({kind:?})"
         );
     }
 }
 
 // ---- TPFTL-specific invariants ------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// The cache budget holds after every single access, for arbitrary
+/// budgets and multi-page requests (this is the invariant a make-room /
+/// insert mismatch violates: the eviction pass can dismantle the target
+/// TP node, whose re-creation must be re-accounted).
+#[test]
+fn tpftl_budget_invariant_under_prefetching() {
+    const FLAGS: [&str; 4] = ["rsbc", "rs", "r", ""];
+    for case in 0..32u64 {
+        let mut rng = Rng64::seed_from_u64(0xB4D6 + case);
+        let budget = rng.range_usize(64, 2048);
+        let flags = FLAGS[rng.range_usize(0, FLAGS.len())];
+        let accesses = accesses(&mut rng, 50, 300);
 
-    /// The cache budget holds after every single access, for arbitrary
-    /// budgets and multi-page requests (this is the invariant a make-room /
-    /// insert mismatch violates: the eviction pass can dismantle the target
-    /// TP node, whose re-creation must be re-accounted).
-    #[test]
-    fn tpftl_budget_invariant_under_prefetching(
-        budget in 64usize..2048,
-        flags in prop_oneof![Just("rsbc"), Just("rs"), Just("r"), Just("")],
-        accesses in proptest::collection::vec(access(), 50..300),
-    ) {
         let mut config = SsdConfig::paper_default(8 << 20);
         config.cache_bytes = config.gtd_bytes() + budget;
         let logical_pages = config.logical_pages() as u32;
@@ -257,20 +337,23 @@ proptest! {
             let start = a.lpn_seed % logical_pages;
             let len = a.len.min(logical_pages - start);
             driver::serve_request(&mut ftl, &mut env, start, len, a.write).expect("serve");
-            prop_assert!(
+            assert!(
                 ftl.cache_bytes_used() <= budget,
-                "budget {budget} exceeded: {} (flags {flags:?})",
+                "case {case}: budget {budget} exceeded: {} (flags {flags:?})",
                 ftl.cache_bytes_used()
             );
         }
     }
+}
 
-    /// One address translation performs at most one translation-page read
-    /// and at most one translation-page write (Section 4.5's guarantee).
-    #[test]
-    fn tpftl_at_most_one_read_and_update_per_translation(
-        accesses in proptest::collection::vec(access(), 30..150),
-    ) {
+/// One address translation performs at most one translation-page read
+/// and at most one translation-page write (Section 4.5's guarantee).
+#[test]
+fn tpftl_at_most_one_read_and_update_per_translation() {
+    for case in 0..32u64 {
+        let mut rng = Rng64::seed_from_u64(0xA7F0 + case);
+        let accesses = accesses(&mut rng, 30, 150);
+
         let mut config = SsdConfig::paper_default(8 << 20);
         config.cache_bytes = config.gtd_bytes() + 256;
         let logical_pages = config.logical_pages() as u32;
@@ -280,15 +363,46 @@ proptest! {
 
         for a in &accesses {
             let lpn = a.lpn_seed % logical_pages;
-            let before_r = env.flash().stats().of(tpftl_flash::OpPurpose::Translation).reads;
-            let before_w = env.flash().stats().of(tpftl_flash::OpPurpose::Translation).writes;
+            let before_r = env
+                .flash()
+                .stats()
+                .of(tpftl_flash::OpPurpose::Translation)
+                .reads;
+            let before_w = env
+                .flash()
+                .stats()
+                .of(tpftl_flash::OpPurpose::Translation)
+                .writes;
             let _ = ftl
-                .translate(&mut env, lpn, &AccessCtx { is_write: a.write, remaining_in_request: a.len })
+                .translate(
+                    &mut env,
+                    lpn,
+                    &AccessCtx {
+                        is_write: a.write,
+                        remaining_in_request: a.len,
+                    },
+                )
                 .expect("translate");
-            let dr = env.flash().stats().of(tpftl_flash::OpPurpose::Translation).reads - before_r;
-            let dw = env.flash().stats().of(tpftl_flash::OpPurpose::Translation).writes - before_w;
-            prop_assert!(dr <= 2, "one load plus at most one writeback read, got {dr}");
-            prop_assert!(dw <= 1, "at most one translation update, got {dw}");
+            let dr = env
+                .flash()
+                .stats()
+                .of(tpftl_flash::OpPurpose::Translation)
+                .reads
+                - before_r;
+            let dw = env
+                .flash()
+                .stats()
+                .of(tpftl_flash::OpPurpose::Translation)
+                .writes
+                - before_w;
+            assert!(
+                dr <= 2,
+                "case {case}: one load plus at most one writeback read, got {dr}"
+            );
+            assert!(
+                dw <= 1,
+                "case {case}: at most one translation update, got {dw}"
+            );
         }
     }
 }

@@ -3,9 +3,8 @@
 
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use tpftl_core::ftl::{BlockLevelFtl, Cdftl, Dftl, Ftl, OptimalFtl, Sftl, TpFtl, TpftlConfig};
 use tpftl_core::{Result, SsdConfig};
@@ -174,11 +173,11 @@ where
             let results = Arc::clone(&results);
             let f = &f;
             scope.spawn(move || loop {
-                let job = queue.lock().pop_front();
+                let job = queue.lock().expect("queue lock").pop_front();
                 match job {
                     Some((i, j)) => {
                         let r = f(&j);
-                        results.lock()[i] = Some(r);
+                        results.lock().expect("results lock")[i] = Some(r);
                     }
                     None => break,
                 }
@@ -188,6 +187,7 @@ where
     Arc::try_unwrap(results)
         .unwrap_or_else(|_| panic!("all workers joined"))
         .into_inner()
+        .expect("results lock")
         .into_iter()
         .map(|r| r.expect("every job ran"))
         .collect()

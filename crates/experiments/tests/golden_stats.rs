@@ -1,0 +1,98 @@
+//! Golden-statistics regression test: fixed-seed synthetic runs must keep
+//! producing bit-identical simulation statistics across refactors of the
+//! mapping-cache internals (slab layout, hashers, index structures). The
+//! goldens were recorded from the implementation at the time this test was
+//! introduced; a diff here means a change is NOT behavior-preserving.
+//!
+//! If an *intentional* simulation-behaviour change lands (new policy, trace
+//! generator change), re-record by running with `UPDATE_GOLDENS=1` printed
+//! output: `cargo test -p tpftl-experiments --test golden_stats -- --nocapture`.
+
+use tpftl_experiments::runner::{device_config, run_one, FtlKind, Scale};
+use tpftl_sim::RunReport;
+use tpftl_trace::presets::Workload;
+
+/// A compact, exact fingerprint of everything the paper's figures measure.
+/// Response time is an f64 accumulation; its bits are captured exactly so
+/// even a reordering of floating-point adds is caught.
+fn fingerprint(r: &RunReport) -> String {
+    format!(
+        "{} req={} lk={} hit={} rep={} drep={} gcu={} gch={} upr={} upw={} \
+         tr={} tw={} er={} gcd={} gcm={} gct={} gctm={} ce={} cb={} resp={:016x}",
+        r.ftl,
+        r.ftl_stats.requests,
+        r.ftl_stats.lookups,
+        r.ftl_stats.hits,
+        r.ftl_stats.replacements,
+        r.ftl_stats.dirty_replacements,
+        r.ftl_stats.gc_updates,
+        r.ftl_stats.gc_hits,
+        r.ftl_stats.user_page_reads,
+        r.ftl_stats.user_page_writes,
+        r.translation_reads(),
+        r.translation_writes(),
+        r.erase_count(),
+        r.gc.data_victims,
+        r.gc.data_pages_migrated,
+        r.gc.trans_victims,
+        r.gc.trans_pages_migrated,
+        r.cached_entries,
+        r.cache_bytes_used,
+        r.avg_response_us.to_bits(),
+    )
+}
+
+fn run(kind: FtlKind, workload: Workload, scale: f64) -> String {
+    let config = device_config(workload);
+    let report = run_one(kind, workload, Scale(scale), &config).expect("run");
+    fingerprint(&report)
+}
+
+/// (kind, workload, scale, golden fingerprint), recorded pre-refactor.
+fn cases() -> Vec<(FtlKind, Workload, f64, &'static str)> {
+    vec![
+        (
+            FtlKind::Tpftl,
+            Workload::Financial1,
+            0.005,
+            "TPFTL(rsbc) req=10000 lk=14046 hit=11654 rep=2137 drep=259 gcu=0 gch=0 upr=3012 upw=11034 tr=2651 tw=259 er=0 gcd=0 gcm=0 gct=0 gctm=0 ce=1212 cb=8192 resp=406f722c24b700d2",
+        ),
+        (
+            FtlKind::variant(""),
+            Workload::Financial1,
+            0.005,
+            "TPFTL(–) req=10000 lk=14046 hit=10887 rep=1947 drep=1556 gcu=0 gch=0 upr=3012 upw=11034 tr=4715 tw=1556 er=0 gcd=0 gcm=0 gct=0 gctm=0 ce=1212 cb=8192 resp=4071f536e8f56c5e",
+        ),
+        (FtlKind::Tpftl, Workload::MsrTs, 0.004, "TPFTL(rsbc) req=10000 lk=27773 hit=23466 rep=0 drep=0 gcu=0 gch=0 upr=5008 upw=22765 tr=4307 tw=0 er=0 gcd=0 gcm=0 gct=0 gctm=0 ce=10539 cb=65858 resp=409b321d1ade8ee0"),
+        // Large enough that writes exhaust the over-provisioned free pool
+        // on the prefilled device, pinning the GC paths too.
+        (
+            FtlKind::Tpftl,
+            Workload::Financial1,
+            0.02,
+            "TPFTL(rsbc) req=40000 lk=56827 hit=48099 rep=11321 drep=762 gcu=3874 gch=424 upr=12056 upw=44771 tr=12534 tw=3806 er=522 gcd=465 gcm=3874 gct=57 gctm=422 ce=1213 cb=8190 resp=4078ec24c4dd0d60",
+        ),
+        (FtlKind::Dftl, Workload::Financial1, 0.005, "DFTL req=10000 lk=14046 hit=10815 rep=2207 drep=1716 gcu=0 gch=0 upr=3012 upw=11034 tr=4947 tw=1716 er=0 gcd=0 gcm=0 gct=0 gctm=0 ce=1024 cb=8192 resp=407230cbccc6fd99"),
+        (FtlKind::Sftl, Workload::Financial1, 0.005, "S-FTL req=10000 lk=14046 hit=12567 rep=1983 drep=675 gcu=0 gch=0 upr=3012 upw=11034 tr=2013 tw=675 er=0 gcd=0 gcm=0 gct=0 gctm=0 ce=30816 cb=8040 resp=4070343cdd203e1b"),
+        (FtlKind::Cdftl, Workload::Financial1, 0.005, "CDFTL req=10000 lk=14046 hit=10556 rep=7677 drep=5892 gcu=0 gch=0 upr=3012 upw=11034 tr=3490 tw=2635 er=0 gcd=0 gcm=0 gct=0 gctm=0 ce=1535 cb=8192 resp=40731bbedb14f735"),
+    ]
+}
+
+#[test]
+fn fixed_seed_statistics_are_stable() {
+    let mut failures = Vec::new();
+    for (kind, workload, scale, golden) in cases() {
+        let actual = run(kind, workload, scale);
+        if actual != golden {
+            failures.push(format!(
+                "{kind:?}/{workload:?}:\n  golden: {golden}\n  actual: {actual}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "simulation statistics drifted from the recorded goldens \
+         (the change is not behavior-preserving):\n{}",
+        failures.join("\n")
+    );
+}

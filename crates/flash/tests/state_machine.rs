@@ -1,12 +1,15 @@
-//! Property tests: the flash device against a simple oracle state machine.
+//! Randomized state-machine test: the flash device against a simple oracle.
 //!
 //! The oracle tracks per-page states with none of the device's internal
 //! bookkeeping (write pointers, valid counts, payload store); random
 //! operation sequences must produce identical observable behaviour, and the
 //! device's derived counters must match recomputation from oracle state.
+//!
+//! Driven by the in-tree seeded PRNG (proptest is unavailable offline);
+//! every case replays deterministically from its seed.
 
-use proptest::prelude::*;
 use tpftl_flash::{Flash, FlashError, FlashGeometry, OpPurpose, PageState, Ppn};
+use tpftl_rng::Rng64;
 
 const BLOCKS: usize = 4;
 const PAGES_PER_BLOCK: usize = 8;
@@ -31,16 +34,27 @@ enum Op {
     Erase { block: u8 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let pages = (BLOCKS * PAGES_PER_BLOCK) as u8;
-    prop_oneof![
-        (0..BLOCKS as u8, any::<u32>()).prop_map(|(block, tag)| Op::Program { block, tag }),
-        (0..BLOCKS as u8, any::<u32>())
-            .prop_map(|(block, vtpn)| Op::ProgramTranslation { block, vtpn }),
-        (0..pages).prop_map(|ppn| Op::Read { ppn }),
-        (0..pages).prop_map(|ppn| Op::Invalidate { ppn }),
-        (0..BLOCKS as u8).prop_map(|block| Op::Erase { block }),
-    ]
+fn random_op(rng: &mut Rng64) -> Op {
+    let pages = (BLOCKS * PAGES_PER_BLOCK) as u32;
+    match rng.range_u32(0, 5) {
+        0 => Op::Program {
+            block: rng.range_u32(0, BLOCKS as u32) as u8,
+            tag: rng.next_u64() as u32,
+        },
+        1 => Op::ProgramTranslation {
+            block: rng.range_u32(0, BLOCKS as u32) as u8,
+            vtpn: rng.next_u64() as u32,
+        },
+        2 => Op::Read {
+            ppn: rng.range_u32(0, pages) as u8,
+        },
+        3 => Op::Invalidate {
+            ppn: rng.range_u32(0, pages) as u8,
+        },
+        _ => Op::Erase {
+            block: rng.range_u32(0, BLOCKS as u32) as u8,
+        },
+    }
 }
 
 /// Oracle: plain per-page state plus tags, no clever bookkeeping.
@@ -72,25 +86,26 @@ impl Oracle {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn device_matches_oracle(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn device_matches_oracle() {
+    for seed in 0..256u64 {
+        let mut rng = Rng64::seed_from_u64(0xF1A5 + seed);
+        let n_ops = rng.range_usize(1, 200);
         let mut flash = Flash::new(tiny_geom()).unwrap();
         let entries = flash.entries_per_translation_page();
         let mut oracle = Oracle::new();
 
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
                 Op::Program { block, tag } => {
                     let b = block as usize;
                     let res = flash.next_free_ppn(block as u32);
                     if oracle.programmed[b] < PAGES_PER_BLOCK {
                         let ppn = res.expect("oracle says block has room");
-                        prop_assert_eq!(
+                        assert_eq!(
                             ppn as usize,
-                            b * PAGES_PER_BLOCK + oracle.programmed[b]
+                            b * PAGES_PER_BLOCK + oracle.programmed[b],
+                            "seed {seed}"
                         );
                         flash.program_page(ppn, tag, OpPurpose::HostData).unwrap();
                         oracle.state[ppn as usize] = PageState::Valid;
@@ -98,15 +113,14 @@ proptest! {
                         oracle.is_tp[ppn as usize] = false;
                         oracle.programmed[b] += 1;
                     } else {
-                        prop_assert!(res.is_none());
+                        assert!(res.is_none(), "seed {seed}");
                     }
                 }
                 Op::ProgramTranslation { block, vtpn } => {
                     let b = block as usize;
                     if oracle.programmed[b] < PAGES_PER_BLOCK {
                         let ppn = flash.next_free_ppn(block as u32).unwrap();
-                        let payload: Box<[Ppn]> =
-                            vec![vtpn; entries].into_boxed_slice();
+                        let payload: Box<[Ppn]> = vec![vtpn; entries].into_boxed_slice();
                         flash
                             .program_translation_page(ppn, vtpn, payload, OpPurpose::Translation)
                             .unwrap();
@@ -121,14 +135,21 @@ proptest! {
                     match oracle.state[ppn as usize] {
                         PageState::Valid => {
                             let info = res.unwrap();
-                            prop_assert_eq!(info.tag, oracle.tag[ppn as usize]);
-                            prop_assert_eq!(info.is_translation, oracle.is_tp[ppn as usize]);
+                            assert_eq!(info.tag, oracle.tag[ppn as usize], "seed {seed}");
+                            assert_eq!(
+                                info.is_translation, oracle.is_tp[ppn as usize],
+                                "seed {seed}"
+                            );
                         }
                         PageState::Free => {
-                            prop_assert_eq!(res, Err(FlashError::ReadFree(ppn as u32)));
+                            assert_eq!(res, Err(FlashError::ReadFree(ppn as u32)), "seed {seed}");
                         }
                         PageState::Invalid => {
-                            prop_assert_eq!(res, Err(FlashError::ReadInvalid(ppn as u32)));
+                            assert_eq!(
+                                res,
+                                Err(FlashError::ReadInvalid(ppn as u32)),
+                                "seed {seed}"
+                            );
                         }
                     }
                 }
@@ -138,7 +159,7 @@ proptest! {
                         res.unwrap();
                         oracle.state[ppn as usize] = PageState::Invalid;
                     } else {
-                        prop_assert!(res.is_err());
+                        assert!(res.is_err(), "seed {seed}");
                     }
                 }
                 Op::Erase { block } => {
@@ -154,26 +175,32 @@ proptest! {
                         }
                         oracle.programmed[b] = 0;
                     } else {
-                        prop_assert_eq!(res, Err(FlashError::EraseWithValidPages(block as u32)));
+                        assert_eq!(
+                            res,
+                            Err(FlashError::EraseWithValidPages(block as u32)),
+                            "seed {seed}"
+                        );
                     }
                 }
             }
 
             // Derived counters always agree with the oracle.
             for b in 0..BLOCKS {
-                prop_assert_eq!(
+                assert_eq!(
                     flash.valid_pages_in(b as u32).unwrap(),
-                    oracle.valid_in(b)
+                    oracle.valid_in(b),
+                    "seed {seed}"
                 );
-                prop_assert_eq!(
+                assert_eq!(
                     flash.free_pages_in(b as u32).unwrap(),
-                    PAGES_PER_BLOCK - oracle.programmed[b]
+                    PAGES_PER_BLOCK - oracle.programmed[b],
+                    "seed {seed}"
                 );
             }
         }
 
-        prop_assert_eq!(flash.total_erase_count(), oracle.erases);
-        prop_assert_eq!(flash.stats().total_erases(), oracle.erases);
+        assert_eq!(flash.total_erase_count(), oracle.erases, "seed {seed}");
+        assert_eq!(flash.stats().total_erases(), oracle.erases, "seed {seed}");
         // scan_valid agrees with the oracle's valid set.
         let scanned: Vec<_> = flash.scan_valid().collect();
         let expect: Vec<_> = oracle
@@ -183,6 +210,6 @@ proptest! {
             .filter(|(_, s)| **s == PageState::Valid)
             .map(|(i, _)| (i as Ppn, oracle.tag[i], oracle.is_tp[i]))
             .collect();
-        prop_assert_eq!(scanned, expect);
+        assert_eq!(scanned, expect, "seed {seed}");
     }
 }

@@ -1,0 +1,104 @@
+//! `serde_json`-shaped API over the in-tree `serde` shim (`tpftl-serde`).
+//!
+//! Consumer crates alias this crate under the name `serde_json`, so the
+//! familiar call sites — `serde_json::to_string_pretty`, `from_str`,
+//! `to_value`, `json!` — compile unchanged while everything stays in-tree
+//! (this workspace builds with no network access).
+
+pub use serde::{Error, Value};
+
+/// Serializes `value` to its JSON tree.
+///
+/// Infallible for every in-tree type; returns `Result` to match the
+/// `serde_json::to_value` call-site shape.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json())
+}
+
+/// Rebuilds a `T` from a JSON tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_json(&value)
+}
+
+/// Compact one-line JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(serde::print::to_compact(&value.to_json()))
+}
+
+/// Pretty JSON text with two-space indentation.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(serde::print::to_pretty(&value.to_json()))
+}
+
+/// Parses a `T` out of JSON text.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_json(&serde::parse::parse(text)?)
+}
+
+/// Builds a [`Value`] from a literal: `json!({"k": expr, ...})`,
+/// `json!([a, b])`, `json!(null)`, or `json!(expr)` for any `Serialize`
+/// expression. Unlike real `serde_json`, object/array literals do not nest
+/// (pass a nested `json!(...)` call as the value expression instead).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $(($key.to_string(), $crate::json!($val))),*
+        ])
+    };
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $($crate::json!($val)),* ])
+    };
+    ($other:expr) => {
+        $crate::__serialize(&$other)
+    };
+}
+
+/// Implementation detail of [`json!`].
+#[doc(hidden)]
+pub fn __serialize<T: serde::Serialize>(value: &T) -> Value {
+    value.to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_roundtrip() {
+        let v: Value = from_str(r#"{"a": [1, 2], "b": "x"}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_macro() {
+        let rows = vec![1u32, 2, 3];
+        let v = json!({
+            "rows": rows,
+            "name": "fig6",
+            "ratio": 0.5,
+            "inner": json!([1, "two"]),
+        });
+        assert_eq!(v.get("rows").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("name").unwrap().as_str(), Some("fig6"));
+        assert_eq!(v.get("ratio").unwrap().as_f64(), Some(0.5));
+        assert!(v.get("inner").unwrap().is_array());
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(7u8), Value::Int(7));
+    }
+
+    #[test]
+    fn error_converts_to_io_error() {
+        fn io_path() -> std::io::Result<String> {
+            let s = to_string_pretty(&Value::Null)?;
+            Ok(s)
+        }
+        assert_eq!(io_path().unwrap(), "null");
+        let e: std::io::Error = from_str::<Value>("nope").unwrap_err().into();
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,275 @@
+//! In-tree JSON serialization shim.
+//!
+//! This workspace builds in fully offline environments where crates.io is
+//! unreachable, so `serde`/`serde_json` cannot be fetched. This crate (and
+//! its sibling `tpftl-serde-json`) provide the small slice of their API the
+//! workspace actually uses — `#[derive(Serialize, Deserialize)]` on
+//! named-field structs and on enums with unit or struct variants
+//! (externally tagged, like serde), a JSON [`Value`] tree, and a
+//! text parser/printer. Consumer crates alias it under the name `serde`
+//! via cargo dependency renaming, so call sites read identically to the
+//! real thing.
+//!
+//! Deliberately unsupported (nothing in-tree needs them): tuple structs,
+//! tuple enum variants, generics on derived types, non-string map keys,
+//! and every `#[serde(...)]` attribute except `#[serde(default)]`.
+
+pub mod parse;
+pub mod print;
+mod value;
+
+pub use tpftl_serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+use std::fmt;
+
+/// Serialization/deserialization error.
+///
+/// Serializing to a [`Value`] cannot fail; the error covers parse errors
+/// and shape mismatches during deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// A "missing field" error, used by the derive macro.
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        Error(format!("missing field `{field}` while deserializing {ty}"))
+    }
+
+    /// A shape-mismatch error ("expected X, got Y"), used by impls below.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+/// Converts a value into its JSON tree representation.
+pub trait Serialize {
+    /// The JSON form of `self`.
+    fn to_json(&self) -> Value;
+}
+
+/// Reconstructs a value from its JSON tree representation.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of `v`, failing on shape mismatches.
+    fn from_json(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- impls for primitives and std containers --------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::from_i128(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i128()
+                    .ok_or_else(|| Error::expected("an integer", v))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                v.as_f64()
+                    .map(|x| x as $t)
+                    .ok_or_else(|| Error::expected("a number", v))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("a boolean", v))
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("a string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(x) => x.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::expected("an array", v))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_array().ok_or_else(|| Error::expected("an array", v))?;
+        if arr.len() != 2 {
+            return Err(Error::custom("expected a 2-element array"));
+        }
+        Ok((A::from_json(&arr[0])?, B::from_json(&arr[1])?))
+    }
+}
+
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u64::from_json(&42u64.to_json()).unwrap(), 42);
+        assert_eq!(i64::from_json(&(-7i64).to_json()).unwrap(), -7);
+        assert_eq!(
+            u64::from_json(&u64::MAX.to_json()).unwrap(),
+            u64::MAX,
+            "u64 values beyond i64::MAX survive"
+        );
+        assert_eq!(f64::from_json(&1.5f64.to_json()).unwrap(), 1.5);
+        assert!(bool::from_json(&true.to_json()).unwrap());
+        assert_eq!(
+            String::from_json(&"hi".to_json()).unwrap(),
+            "hi".to_string()
+        );
+        assert_eq!(
+            Vec::<u32>::from_json(&vec![1u32, 2, 3].to_json()).unwrap(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(Option::<u32>::from_json(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_json(&5u32.to_json()).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        assert!(u64::from_json(&Value::Str("x".into())).is_err());
+        assert!(u8::from_json(&Value::Int(300)).is_err());
+        assert!(u64::from_json(&Value::Int(-1)).is_err());
+        assert!(bool::from_json(&Value::Int(1)).is_err());
+        assert!(Vec::<u32>::from_json(&Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn integral_floats_do_not_become_integers() {
+        // Counters are always emitted as Int; strictness catches drift.
+        assert!(u64::from_json(&Value::Float(3.0)).is_err());
+    }
+}

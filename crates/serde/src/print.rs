@@ -1,0 +1,147 @@
+//! JSON text emission (compact and pretty).
+
+use crate::Value;
+use std::fmt::Write;
+
+/// Compact one-line JSON.
+pub fn to_compact(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, None, 0);
+    out
+}
+
+/// Pretty-printed JSON with two-space indentation.
+pub fn to_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, Some(2), 0);
+    out
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(xs) => {
+            if xs.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, x, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, x)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, x, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+}
+
+/// Floats print via `{:?}` — the shortest representation that round-trips,
+/// always containing a `.` or exponent so the parser reads a Float back.
+/// Non-finite values have no JSON form and print as `null` (serde_json's
+/// behavior for its lossy printers).
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let _ = write!(out, "{f:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty() {
+        let v = Value::Object(vec![
+            ("n".into(), Value::Int(3)),
+            ("f".into(), Value::Float(1.0)),
+            ("s".into(), Value::Str("a\"b".into())),
+            (
+                "xs".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("empty".into(), Value::Array(vec![])),
+        ]);
+        assert_eq!(
+            to_compact(&v),
+            r#"{"n":3,"f":1.0,"s":"a\"b","xs":[true,null],"empty":[]}"#
+        );
+        let pretty = to_pretty(&v);
+        assert!(pretty.contains("\n  \"n\": 3"));
+        assert!(pretty.ends_with('}'));
+    }
+
+    #[test]
+    fn floats_roundtrip_textually() {
+        for f in [0.1, 1.0, -2.5e-7, 1e300, f64::MAX, 123456.789] {
+            let mut s = String::new();
+            write_float(&mut s, f);
+            assert_eq!(s.parse::<f64>().unwrap(), f, "{s}");
+            assert!(
+                s.contains('.') || s.contains('e') || s.contains('E'),
+                "float text {s} must not look like an integer"
+            );
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The JSON tree.
+
+use std::fmt;
+
+/// A parsed or constructed JSON value.
+///
+/// Integers are kept exact: values that fit `i64` canonicalize to
+/// [`Value::Int`], larger unsigned values to [`Value::UInt`] (so `u64::MAX`
+/// round-trips bit-exactly, which `f64` could not provide). Objects preserve
+/// insertion order — key lookup is a linear scan, which is fine for the
+/// small report objects this workspace serializes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any integer representable as `i64` (canonical form for those).
+    Int(i64),
+    /// Integers above `i64::MAX`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Canonicalizes an integer: `Int` if it fits `i64`, else `UInt`.
+    pub fn from_i128(n: i128) -> Value {
+        if let Ok(i) = i64::try_from(n) {
+            Value::Int(i)
+        } else if let Ok(u) = u64::try_from(n) {
+            Value::UInt(u)
+        } else {
+            // Unreachable from the `impl_int!` types (all fit i128 and
+            // either i64 or u64); kept total for safety.
+            Value::Float(n as f64)
+        }
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Int(_) | Value::UInt(_) => "an integer",
+            Value::Float(_) => "a number",
+            Value::Str(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
+
+    /// Is this an array?
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Is this an object?
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Is this `null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Member lookup: `Some` for the first entry named `key` in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// The entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The exact integer, if this is one (floats are *not* coerced).
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i as i128),
+            Value::UInt(u) => Some(*u as i128),
+            _ => None,
+        }
+    }
+
+    /// The integer as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i128().and_then(|n| u64::try_from(n).ok())
+    }
+
+    /// The integer as `i64`, if it fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_i128().and_then(|n| i64::try_from(n).ok())
+    }
+
+    /// The number as `f64` (integers coerce; strings do not).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON text.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::print::to_compact(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_integers() {
+        assert_eq!(Value::from_i128(5), Value::Int(5));
+        assert_eq!(Value::from_i128(-5), Value::Int(-5));
+        assert_eq!(Value::from_i128(u64::MAX as i128), Value::UInt(u64::MAX));
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Int(1)),
+            ("b".into(), Value::Array(vec![Value::Null])),
+        ]);
+        assert!(v.is_object());
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        assert!(v.get("b").unwrap().is_array());
+        assert!(v.get("missing").is_none());
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Int(2).as_f64(), Some(2.0));
+        assert_eq!(Value::Int(-1).as_u64(), None);
+    }
+}

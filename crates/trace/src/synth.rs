@@ -8,21 +8,25 @@
 //! 2. **Sequential bursts** — sequential accesses arrive in *runs*: a read
 //!    (write) request occasionally starts a burst whose following
 //!    `mean_burst_len − 1` same-direction requests continue where the
-//!    previous one ended. Burst starts are paced so the overall fraction of
-//!    sequential reads (writes) matches `seq_read_frac` (`seq_write_frac`),
-//!    the Table 4 definition. Bursty (rather than uniformly sprinkled)
-//!    sequentiality is what produces the diagonal runs of Figure 2(a) and
-//!    what TPFTL's selective prefetching exploits ("sequential accesses are
-//!    often interspersed with random accesses", Section 4.3).
+//!    previous one ended. Burst starts are *deficit-paced*: every request of
+//!    a direction earns that direction `seq_read_frac` (`seq_write_frac`)
+//!    units of credit, each burst continuation spends one unit, and a new
+//!    burst only launches once the balance funds a full mean-length burst.
+//!    The overall fraction of sequential reads (writes) therefore matches
+//!    the Table 4 definition with low variance even over short windows —
+//!    randomly seeded rare bursts would make short traces a lottery.
+//!    Bursty (rather than uniformly sprinkled) sequentiality is what
+//!    produces the diagonal runs of Figure 2(a) and what TPFTL's selective
+//!    prefetching exploits ("sequential accesses are often interspersed
+//!    with random accesses", Section 4.3).
 //! 3. **Skewed temporal locality** — random jump targets are drawn from a
 //!    [`ZipfRegions`] distribution; `active_frac < 1` limits the footprint
 //!    the way the MSR traces use only part of their 16 GB volume.
 //! 4. **Request sizes** — geometric in sectors with the Table 4 mean;
 //!    arrivals are Poisson with mean `mean_interarrival_us`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use tpftl_rng::Rng64;
 
 use crate::{Dir, IoRequest, ZipfRegions, SECTOR_BYTES};
 
@@ -139,7 +143,7 @@ impl SyntheticSpec {
                 "bursts need a mean length above one"
             );
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let sectors = self.address_bytes / SECTOR_BYTES;
         let zipf = ZipfRegions::new(
             sectors,
@@ -148,16 +152,6 @@ impl SyntheticSpec {
             self.locality.active_frac,
             &mut rng,
         );
-        // A burst of total length L contributes L − 1 sequential requests,
-        // so pacing burst starts at f / ((1 − f)(L − 1)) per non-burst
-        // request yields an overall sequential fraction of f.
-        let start_p = |f: f64| {
-            if f <= 0.0 {
-                0.0
-            } else {
-                (f / ((1.0 - f) * (self.mean_burst_len - 1.0))).min(1.0)
-            }
-        };
         // Bursts occupy whole stretches of the request stream with one
         // direction, so the per-request direction draw is compensated to
         // keep the overall write ratio on target.
@@ -167,8 +161,8 @@ impl SyntheticSpec {
             / (1.0 - read_burst_frac - write_burst_frac).max(f64::EPSILON))
         .clamp(0.0, 1.0);
         SyntheticIter {
-            read_start_p: start_p(self.seq_read_frac),
-            write_start_p: start_p(self.seq_write_frac),
+            read_credit: 0.0,
+            write_credit: 0.0,
             base_write_ratio,
             spec: self.clone(),
             rng,
@@ -186,13 +180,17 @@ impl SyntheticSpec {
 /// Iterator producing the requests of a [`SyntheticSpec`].
 pub struct SyntheticIter {
     spec: SyntheticSpec,
-    rng: StdRng,
+    rng: Rng64,
     zipf: ZipfRegions,
     sectors: u64,
     remaining: usize,
     clock_us: f64,
-    read_start_p: f64,
-    write_start_p: f64,
+    /// Sequentiality credit balances, in burst-continuation units. Each
+    /// request of a direction earns its `seq_*_frac`; each emitted burst
+    /// continuation spends one unit, so the continuation fraction converges
+    /// to the spec value regardless of burst lengths or truncation.
+    read_credit: f64,
+    write_credit: f64,
     /// Direction mix for non-burst requests, compensated so that the
     /// overall write ratio (bursts included) matches the spec.
     base_write_ratio: f64,
@@ -208,7 +206,7 @@ impl SyntheticIter {
             return 1;
         }
         let p = 1.0 / mean;
-        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u = self.rng.range_f64(f64::EPSILON, 1.0);
         (u.ln() / (1.0 - p).ln()).floor() as u64 + 1
     }
 
@@ -235,24 +233,38 @@ impl Iterator for SyntheticIter {
             if self.burst_left > 0 && self.burst_end + len_sectors <= self.sectors {
                 // Continue the current sequential burst: same direction,
                 // back-to-back in both address and time, as real scans are.
+                // Each continuation spends one unit of sequentiality credit.
                 self.burst_left -= 1;
+                match self.burst_dir {
+                    Dir::Read => self.read_credit -= 1.0,
+                    Dir::Write => self.write_credit -= 1.0,
+                }
                 let start = self.burst_end;
                 self.burst_end += len_sectors;
                 (self.burst_dir, start)
             } else {
+                self.burst_left = 0; // a truncated burst forfeits its remainder
                 let dir = if self.rng.gen_bool(self.base_write_ratio) {
                     Dir::Write
                 } else {
                     Dir::Read
                 };
-                // Random placement; occasionally seed a new burst that the
-                // following requests will continue.
-                let start_p = match dir {
-                    Dir::Read => self.read_start_p,
-                    Dir::Write => self.write_start_p,
+                // Random placement; seed a new burst once the direction's
+                // accrued credit funds a full mean-length one. The length is
+                // still geometric, but capped at what the balance funds (a
+                // continuation nets 1 − f: it spends 1 and earns f back).
+                let f = match dir {
+                    Dir::Read => self.spec.seq_read_frac,
+                    Dir::Write => self.spec.seq_write_frac,
                 };
-                self.burst_left = if start_p > 0.0 && self.rng.gen_bool(start_p) {
-                    (self.sample_geometric(burst_len_mean) - 1) as u32
+                let credit = match dir {
+                    Dir::Read => self.read_credit,
+                    Dir::Write => self.write_credit,
+                };
+                let net_cost = (1.0 - f).max(f64::EPSILON);
+                self.burst_left = if f > 0.0 && credit >= (burst_len_mean - 1.0) * net_cost {
+                    let funded = (credit / net_cost).floor() as u64;
+                    (self.sample_geometric(burst_len_mean) - 1).min(funded) as u32
                 } else {
                     0
                 };
@@ -263,8 +275,13 @@ impl Iterator for SyntheticIter {
                 self.burst_end = start + len_sectors;
                 (dir, start)
             };
+        // Every request of a direction earns it credit at the target rate.
+        match dir {
+            Dir::Read => self.read_credit += self.spec.seq_read_frac,
+            Dir::Write => self.write_credit += self.spec.seq_write_frac,
+        }
 
-        let dt = -self.spec.mean_interarrival_us * self.rng.gen_range(f64::EPSILON..1.0f64).ln();
+        let dt = -self.spec.mean_interarrival_us * self.rng.range_f64(f64::EPSILON, 1.0).ln();
         self.clock_us += dt;
 
         Some(IoRequest::new(

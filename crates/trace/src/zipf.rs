@@ -8,8 +8,7 @@
 //! regions are scattered over the address space, as in real traces), and
 //! sample uniformly within a region.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use tpftl_rng::Rng64;
 
 /// Zipf-over-regions sampler for skewed address distributions.
 #[derive(Debug, Clone)]
@@ -36,13 +35,7 @@ impl ZipfRegions {
     ///
     /// Panics if `total == 0`, `regions == 0`, `theta < 0`, or
     /// `active_frac` is not in `(0, 1]`.
-    pub fn new<R: Rng>(
-        total: u64,
-        regions: usize,
-        theta: f64,
-        active_frac: f64,
-        rng: &mut R,
-    ) -> Self {
+    pub fn new(total: u64, regions: usize, theta: f64, active_frac: f64, rng: &mut Rng64) -> Self {
         assert!(total > 0 && regions > 0, "empty address space");
         assert!(theta >= 0.0, "negative skew");
         assert!(
@@ -69,7 +62,7 @@ impl ZipfRegions {
         // Guard against floating-point drift.
         *weights.last_mut().expect("regions > 0") = 1.0;
         let mut perm: Vec<u32> = (0..regions as u32).collect();
-        perm.shuffle(rng);
+        rng.shuffle(&mut perm);
         Self {
             cdf: weights,
             perm,
@@ -83,27 +76,24 @@ impl ZipfRegions {
     }
 
     /// Samples one unit index in `0..total`.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut Rng64) -> u64 {
+        let u = rng.next_f64();
         let rank = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
         let region = self.perm[rank] as u64;
         let n = self.cdf.len() as u64;
         let base = region * self.total / n;
         let end = (region + 1) * self.total / n;
         let span = (end - base).max(1);
-        base + rng.gen_range(0..span)
+        base + rng.below(span)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
     #[test]
     fn samples_in_range() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::seed_from_u64(1);
         let z = ZipfRegions::new(1000, 16, 1.0, 1.0, &mut rng);
         for _ in 0..10_000 {
             assert!(z.sample(&mut rng) < 1000);
@@ -112,7 +102,7 @@ mod tests {
 
     #[test]
     fn uniform_when_theta_zero() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng64::seed_from_u64(2);
         let z = ZipfRegions::new(1 << 20, 64, 0.0, 1.0, &mut rng);
         let mut counts = vec![0u32; 64];
         let region_span = (1u64 << 20) / 64;
@@ -126,7 +116,7 @@ mod tests {
 
     #[test]
     fn skewed_when_theta_large() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::seed_from_u64(3);
         let z = ZipfRegions::new(1 << 20, 64, 1.2, 1.0, &mut rng);
         let region_span = (1u64 << 20) / 64;
         let mut counts = vec![0u32; 64];
@@ -141,7 +131,7 @@ mod tests {
 
     #[test]
     fn active_frac_limits_footprint() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng64::seed_from_u64(5);
         let z = ZipfRegions::new(1 << 20, 64, 0.0, 0.25, &mut rng);
         let region_span = (1u64 << 20) / 64;
         let mut touched = std::collections::HashSet::new();
@@ -154,7 +144,7 @@ mod tests {
 
     #[test]
     fn more_regions_than_units_is_clamped() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng64::seed_from_u64(4);
         let z = ZipfRegions::new(5, 64, 1.0, 1.0, &mut rng);
         assert_eq!(z.regions(), 5);
         for _ in 0..100 {

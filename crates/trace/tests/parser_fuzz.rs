@@ -1,85 +1,127 @@
-//! Property tests for the trace parsers: write/parse round-trips over
+//! Randomized tests for the trace parsers: write/parse round-trips over
 //! arbitrary request streams, and robustness against malformed input
 //! (errors, never panics).
+//!
+//! Driven by the in-tree seeded PRNG (proptest is unavailable offline);
+//! every case replays deterministically from its seed.
 
-use proptest::prelude::*;
+use tpftl_rng::Rng64;
 use tpftl_trace::{parse, Dir, IoRequest, SECTOR_BYTES};
 
-fn request_strategy() -> impl Strategy<Value = IoRequest> {
-    (
-        0.0f64..1e12,
-        0u64..(1u64 << 41) / SECTOR_BYTES, // sector index within 2 TB
-        1u32..65_536,
-        any::<bool>(),
-    )
-        .prop_map(|(t, sector, len, w)| {
-            IoRequest::new(
-                t,
-                sector * SECTOR_BYTES,
-                len,
-                if w { Dir::Write } else { Dir::Read },
-            )
-        })
+fn random_request(rng: &mut Rng64) -> IoRequest {
+    let t = rng.range_f64(0.0, 1e12);
+    let sector = rng.range_u64(0, (1u64 << 41) / SECTOR_BYTES); // within 2 TB
+    let len = rng.range_u32(1, 65_536);
+    let dir = if rng.gen_bool(0.5) {
+        Dir::Write
+    } else {
+        Dir::Read
+    };
+    IoRequest::new(t, sector * SECTOR_BYTES, len, dir)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn random_requests(rng: &mut Rng64) -> Vec<IoRequest> {
+    let n = rng.range_usize(1, 100);
+    (0..n).map(|_| random_request(rng)).collect()
+}
 
-    /// SPC round trip: offsets are sector-granular, timestamps carry
-    /// microsecond precision (the writer emits 6 decimal places).
-    #[test]
-    fn spc_roundtrip(reqs in proptest::collection::vec(request_strategy(), 1..100)) {
+/// SPC round trip: offsets are sector-granular, timestamps carry
+/// microsecond precision (the writer emits 6 decimal places).
+#[test]
+fn spc_roundtrip() {
+    for seed in 0..256u64 {
+        let reqs = random_requests(&mut Rng64::seed_from_u64(0x59C + seed));
         // Normalize: SPC timestamps are relative to the first record, and
         // the writer emits sorted-ish arbitrary times as-is.
         let mut buf = Vec::new();
         parse::write_spc(&mut buf, &reqs).expect("write");
         let parsed = parse::parse_spc(&buf[..]).expect("parse");
-        prop_assert_eq!(parsed.len(), reqs.len());
+        assert_eq!(parsed.len(), reqs.len(), "seed {seed}");
         let t0 = reqs[0].arrival_us;
         for (a, b) in reqs.iter().zip(&parsed) {
-            prop_assert_eq!(a.offset, b.offset);
-            prop_assert_eq!(a.len, b.len);
-            prop_assert_eq!(a.dir, b.dir);
+            assert_eq!(a.offset, b.offset, "seed {seed}");
+            assert_eq!(a.len, b.len, "seed {seed}");
+            assert_eq!(a.dir, b.dir, "seed {seed}");
             // Seconds with 6 decimals -> within 1 µs after normalization.
-            prop_assert!(((a.arrival_us - t0) - b.arrival_us).abs() <= 1.0);
+            assert!(
+                ((a.arrival_us - t0) - b.arrival_us).abs() <= 1.0,
+                "seed {seed}"
+            );
         }
     }
+}
 
-    /// MSR round trip: byte offsets, 100 ns tick timestamps.
-    #[test]
-    fn msr_roundtrip(reqs in proptest::collection::vec(request_strategy(), 1..100)) {
+/// MSR round trip: byte offsets, 100 ns tick timestamps.
+#[test]
+fn msr_roundtrip() {
+    for seed in 0..256u64 {
+        let reqs = random_requests(&mut Rng64::seed_from_u64(0x359 + seed));
         let mut buf = Vec::new();
         parse::write_msr(&mut buf, &reqs).expect("write");
         let parsed = parse::parse_msr(&buf[..]).expect("parse");
-        prop_assert_eq!(parsed.len(), reqs.len());
+        assert_eq!(parsed.len(), reqs.len(), "seed {seed}");
         let t0 = (reqs[0].arrival_us * 10.0).round() / 10.0;
         for (a, b) in reqs.iter().zip(&parsed) {
-            prop_assert_eq!(a.offset, b.offset);
-            prop_assert_eq!(a.len, b.len);
-            prop_assert_eq!(a.dir, b.dir);
-            prop_assert!(((a.arrival_us - t0) - b.arrival_us).abs() <= 0.2);
+            assert_eq!(a.offset, b.offset, "seed {seed}");
+            assert_eq!(a.len, b.len, "seed {seed}");
+            assert_eq!(a.dir, b.dir, "seed {seed}");
+            assert!(
+                ((a.arrival_us - t0) - b.arrival_us).abs() <= 0.2,
+                "seed {seed}"
+            );
         }
     }
+}
 
-    /// Arbitrary garbage input never panics: it parses or errors cleanly.
-    #[test]
-    fn parsers_never_panic(input in "\\PC{0,400}") {
+/// A grab-bag of printable characters (ASCII plus a few multibyte ones)
+/// for garbage inputs — roughly proptest's `\PC` class.
+fn random_printable(rng: &mut Rng64, max_len: usize) -> String {
+    const EXOTIC: [char; 6] = ['é', 'λ', '中', '\u{1F600}', '°', 'ß'];
+    let len = rng.range_usize(0, max_len + 1);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.9) {
+                // Printable ASCII, space through tilde.
+                (rng.range_u32(0x20, 0x7F) as u8) as char
+            } else {
+                EXOTIC[rng.range_usize(0, EXOTIC.len())]
+            }
+        })
+        .collect()
+}
+
+/// Arbitrary garbage input never panics: it parses or errors cleanly.
+#[test]
+fn parsers_never_panic() {
+    for seed in 0..256u64 {
+        let mut rng = Rng64::seed_from_u64(0x6AB + seed);
+        let input = random_printable(&mut rng, 400);
         let _ = parse::parse_spc(input.as_bytes());
         let _ = parse::parse_msr(input.as_bytes());
         let _ = parse::parse_auto(&input);
     }
+}
 
-    /// Line-shaped garbage (comma-separated fields) never panics either.
-    #[test]
-    fn csv_shaped_garbage_never_panics(
-        lines in proptest::collection::vec(
-            proptest::collection::vec("[-0-9a-zA-Z.]{0,12}", 0..9),
-            0..20,
-        )
-    ) {
-        let text: String = lines
-            .iter()
-            .map(|fields| fields.join(","))
+/// Line-shaped garbage (comma-separated fields) never panics either. The
+/// fields draw from number-ish characters, so many lines are near-misses of
+/// real records — the interesting corner of the input space.
+#[test]
+fn csv_shaped_garbage_never_panics() {
+    const FIELD_CHARS: &[u8] = b"-0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ.";
+    for seed in 0..256u64 {
+        let mut rng = Rng64::seed_from_u64(0xC57 + seed);
+        let n_lines = rng.range_usize(0, 20);
+        let text: String = (0..n_lines)
+            .map(|_| {
+                let n_fields = rng.range_usize(0, 9);
+                (0..n_fields)
+                    .map(|_| {
+                        let len = rng.range_usize(0, 13);
+                        rng.ascii_string(FIELD_CHARS, len)
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
             .collect::<Vec<_>>()
             .join("\n");
         let _ = parse::parse_spc(text.as_bytes());
