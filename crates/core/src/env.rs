@@ -244,18 +244,23 @@ impl SsdEnv {
         updates: &[(u16, Ppn)],
         purpose: OpPurpose,
     ) -> Result<()> {
-        let mut payload = match self.gtd.get(vtpn) {
-            Some(old) => {
-                let p = self.flash.read_translation_payload(old, purpose)?.to_vec();
-                self.invalidate_page(old)?;
-                p
-            }
+        let old = self.gtd.get(vtpn);
+        let mut payload = match old {
+            Some(old) => self.flash.read_translation_payload(old, purpose)?.to_vec(),
             None => vec![PPN_NONE; self.entries_per_tp],
         };
         for &(off, ppn) in updates {
             payload[off as usize] = ppn;
         }
-        self.program_translation(vtpn, payload.into_boxed_slice(), purpose)
+        // Program the replacement before invalidating the old copy, so a
+        // power loss between the two steps never leaves the table without a
+        // valid copy of this translation page (crash recovery then picks the
+        // newer copy by program-sequence stamp).
+        self.program_translation(vtpn, payload.into_boxed_slice(), purpose)?;
+        if let Some(old) = old {
+            self.invalidate_page(old)?;
+        }
+        Ok(())
     }
 
     /// Full translation-page overwrite from a cached copy: costs `T_fw`
@@ -267,10 +272,13 @@ impl SsdEnv {
         payload: Vec<Ppn>,
         purpose: OpPurpose,
     ) -> Result<()> {
-        if let Some(old) = self.gtd.get(vtpn) {
+        let old = self.gtd.get(vtpn);
+        // Program-before-invalidate, as in `update_translation_page`.
+        self.program_translation(vtpn, payload.into_boxed_slice(), purpose)?;
+        if let Some(old) = old {
             self.invalidate_page(old)?;
         }
-        self.program_translation(vtpn, payload.into_boxed_slice(), purpose)
+        Ok(())
     }
 
     fn program_translation(
@@ -317,6 +325,19 @@ impl SsdEnv {
     /// cycle does (all RAM state is dropped).
     pub fn into_flash(self) -> Flash {
         self.flash
+    }
+
+    // ---- Power-loss fault injection ------------------------------------------
+
+    /// Arms a power-loss [`tpftl_flash::FaultPlan`] on the underlying
+    /// device; see [`tpftl_flash::Flash::arm_faults`].
+    pub fn arm_faults(&mut self, plan: tpftl_flash::FaultPlan) {
+        self.flash.arm_faults(plan);
+    }
+
+    /// The fatal operation, if an armed fault plan has fired.
+    pub fn fault_fired(&self) -> Option<tpftl_flash::FaultRecord> {
+        self.flash.fault_fired()
     }
 
     /// Writes every not-yet-present translation page (all-unmapped), so the

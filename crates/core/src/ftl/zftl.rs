@@ -478,6 +478,6 @@ mod tests {
         }
         // Flush + verify: the recovery oracle covers ZFTL too.
         crate::recovery::flush_cache(&mut ftl, &mut env).unwrap();
-        crate::recovery::verify(&env);
+        crate::recovery::verify(&env).assert_clean();
     }
 }

@@ -78,7 +78,9 @@ fn collect_translation_block(env: &mut SsdEnv, victim: tpftl_flash::BlockId) -> 
             .flash
             .read_translation_payload(old_ppn, OpPurpose::GcTranslation)?
             .to_vec();
-        env.invalidate_page(old_ppn)?;
+        // Program the copy before invalidating the original (as the
+        // data-page path below does), so a power loss mid-migration never
+        // leaves the table without a valid copy of this translation page.
         let new_ppn = env.blocks.alloc_page(AllocClass::Translation, &env.flash)?;
         env.flash.program_translation_page(
             new_ppn,
@@ -87,6 +89,7 @@ fn collect_translation_block(env: &mut SsdEnv, victim: tpftl_flash::BlockId) -> 
             OpPurpose::GcTranslation,
         )?;
         env.gtd.set(vtpn, new_ppn);
+        env.invalidate_page(old_ppn)?;
     }
 
     env.flash.erase_block(victim, OpPurpose::GcTranslation)?;

@@ -48,9 +48,10 @@ fn flush_persists_every_dirty_mapping() {
         let written = workload(ftl.as_mut(), &mut env, 8_000);
         recovery::flush_cache(ftl.as_mut(), &mut env)
             .unwrap_or_else(|e| panic!("{} flush failed: {e}", ftl.name()));
-        let checked = recovery::verify(&env);
+        let report = recovery::verify(&env);
+        report.assert_clean();
         assert_eq!(
-            checked,
+            report.mapped_entries,
             written.len() as u64,
             "{}: persisted table must reference exactly the written pages",
             ftl.name()
@@ -73,7 +74,7 @@ fn power_cycle_roundtrip_across_ftls() {
     let flash = env.into_flash();
     drop(tpftl);
     let mut env2 = recovery::mount(flash, c.clone()).expect("mount");
-    recovery::verify(&env2);
+    recovery::verify(&env2).assert_clean();
 
     // A cold DFTL mounts the same on-flash state.
     let mut dftl = Dftl::new(&c).expect("budget");
@@ -120,7 +121,7 @@ fn remount_preserves_wear_and_gc_works() {
     }
     assert!(env2.flash().total_erase_count() > erases_before);
     recovery::flush_cache(&mut ftl2, &mut env2).expect("flush");
-    recovery::verify(&env2);
+    recovery::verify(&env2).assert_clean();
 }
 
 /// Flushing twice is idempotent: the second flush writes nothing.

@@ -72,6 +72,20 @@ fn cases() -> Vec<(FtlKind, Workload, f64, &'static str)> {
             0.02,
             "TPFTL(rsbc) req=40000 lk=56827 hit=48099 rep=11321 drep=762 gcu=3874 gch=424 upr=12056 upw=44771 tr=12534 tw=3806 er=522 gcd=465 gcm=3874 gct=57 gctm=422 ce=1213 cb=8190 resp=4078ec24c4dd0d60",
         ),
+        // The same GC-heavy scale for the other demand-paging FTLs, so
+        // cache-core refactors can't silently drift their GC behaviour.
+        (
+            FtlKind::Sftl,
+            Workload::Financial1,
+            0.02,
+            "S-FTL req=40000 lk=56827 hit=45879 rep=14549 drep=4558 gcu=3951 gch=473 upr=12056 upw=44771 tr=18060 tw=8059 er=589 gcd=465 gcm=3951 gct=124 gctm=858 ce=10338 cb=8104 resp=407c0db8ba3ceae8",
+        ),
+        (
+            FtlKind::Cdftl,
+            Workload::Financial1,
+            0.02,
+            "CDFTL req=40000 lk=56827 hit=42516 rep=33733 drep=27750 gcu=3988 gch=121 upr=12056 upw=44771 tr=18755 tw=16571 er=722 gcd=467 gcm=3988 gct=255 gctm=1482 ce=1535 cb=8192 resp=40804d6ab4824f51",
+        ),
         (FtlKind::Dftl, Workload::Financial1, 0.005, "DFTL req=10000 lk=14046 hit=10815 rep=2207 drep=1716 gcu=0 gch=0 upr=3012 upw=11034 tr=4947 tw=1716 er=0 gcd=0 gcm=0 gct=0 gctm=0 ce=1024 cb=8192 resp=407230cbccc6fd99"),
         (FtlKind::Sftl, Workload::Financial1, 0.005, "S-FTL req=10000 lk=14046 hit=12567 rep=1983 drep=675 gcu=0 gch=0 upr=3012 upw=11034 tr=2013 tw=675 er=0 gcd=0 gcm=0 gct=0 gctm=0 ce=30816 cb=8040 resp=4070343cdd203e1b"),
         (FtlKind::Cdftl, Workload::Financial1, 0.005, "CDFTL req=10000 lk=14046 hit=10556 rep=7677 drep=5892 gcu=0 gch=0 upr=3012 upw=11034 tr=3490 tw=2635 er=0 gcd=0 gcm=0 gct=0 gctm=0 ce=1535 cb=8192 resp=40731bbedb14f735"),

@@ -19,6 +19,12 @@ pub enum FlashError {
     ReadFree(Ppn),
     /// Attempt to read a page that was invalidated (stale data).
     ReadInvalid(Ppn),
+    /// Attempt to read or invalidate a page whose program or erase was
+    /// interrupted by power loss (indeterminate charge).
+    ReadTorn(Ppn),
+    /// An injected power loss interrupted this operation; the device is
+    /// dark until remounted (see the `fault` module).
+    PowerLoss,
     /// Attempt to program a page that is not in the `Free` state
     /// (erase-before-write violation).
     ProgramNotFree(Ppn),
@@ -54,6 +60,8 @@ impl core::fmt::Display for FlashError {
             Self::BlockOutOfRange(b) => write!(f, "block {b} is out of range"),
             Self::ReadFree(p) => write!(f, "read of free (unwritten) page {p}"),
             Self::ReadInvalid(p) => write!(f, "read of invalidated page {p}"),
+            Self::ReadTorn(p) => write!(f, "read of torn (interrupted-program) page {p}"),
+            Self::PowerLoss => write!(f, "power loss injected; device is offline"),
             Self::ProgramNotFree(p) => {
                 write!(f, "program of non-free page {p} (erase-before-write)")
             }

@@ -2,7 +2,10 @@
 
 use std::collections::HashMap;
 
-use crate::{BlockId, FlashError, FlashGeometry, FlashStats, OpKind, OpPurpose, Ppn, Result};
+use crate::{
+    BlockId, FaultPlan, FaultRecord, FlashError, FlashGeometry, FlashStats, OpKind, OpPurpose, Ppn,
+    Result,
+};
 
 /// State of one physical page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -13,6 +16,10 @@ pub enum PageState {
     Valid,
     /// Programmed but superseded; reclaimable by GC.
     Invalid,
+    /// A program or erase was interrupted by power loss: the cells hold
+    /// indeterminate charge. Unreadable and unprogrammable (it sits behind
+    /// the write pointer) until its block is erased.
+    Torn,
 }
 
 /// Metadata returned by [`Flash::read_page`].
@@ -55,6 +62,12 @@ pub struct Flash {
     valid_count: Vec<u32>,
     erase_count: Vec<u32>,
     tp_payload: HashMap<Ppn, Box<[Ppn]>>,
+    /// Out-of-band program sequence stamp per page (0 = never programmed
+    /// since the last erase). Monotonic across the device's life, so crash
+    /// recovery can order two valid copies of the same logical page.
+    seq: Vec<u64>,
+    next_seq: u64,
+    faults: Option<FaultPlan>,
     stats: FlashStats,
 }
 
@@ -76,6 +89,9 @@ impl Flash {
             valid_count: vec![0; blocks],
             erase_count: vec![0; blocks],
             tp_payload: HashMap::new(),
+            seq: vec![0; pages],
+            next_seq: 1,
+            faults: None,
             stats: FlashStats::default(),
             geom,
         })
@@ -104,6 +120,58 @@ impl Flash {
     /// formatting/pre-filling so measurements cover only the workload.
     pub fn reset_stats(&mut self) {
         self.stats = FlashStats::default();
+    }
+
+    // ---- Power-loss fault injection -----------------------------------------
+
+    /// Arms a power-loss [`FaultPlan`]; the corresponding operation will
+    /// fail with [`FlashError::PowerLoss`] and the device stays dark (every
+    /// later operation also fails) until [`Flash::disarm_faults`].
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Removes the fault plan (power restored), returning it with its
+    /// counters — the first step of a remount.
+    pub fn disarm_faults(&mut self) -> Option<FaultPlan> {
+        self.faults.take()
+    }
+
+    /// The fatal operation, if an armed plan has fired.
+    pub fn fault_fired(&self) -> Option<FaultRecord> {
+        self.faults.as_ref().and_then(FaultPlan::fired)
+    }
+
+    /// Counts one attempted physical op against the armed plan, if any.
+    #[inline]
+    fn fault_trips(&mut self, kind: OpKind, is_translation_write: bool) -> bool {
+        match &mut self.faults {
+            None => false,
+            Some(fp) => fp.trips(kind, is_translation_write),
+        }
+    }
+
+    /// Whether the armed plan already fired: the device is dark and every
+    /// operation fails without touching state (commands to an unpowered
+    /// chip).
+    #[inline]
+    fn dark(&self) -> bool {
+        self.faults.as_ref().is_some_and(|fp| fp.fired().is_some())
+    }
+
+    /// Out-of-band program sequence stamp of `ppn` (0 = never programmed
+    /// since its block's last erase). Strictly increasing in program order
+    /// across the whole device; crash recovery uses it to order two live
+    /// copies of the same logical page.
+    #[inline]
+    pub fn program_seq(&self, ppn: Ppn) -> u64 {
+        self.seq[ppn as usize]
+    }
+
+    /// Number of torn pages on the device (power-loss damage awaiting an
+    /// erase).
+    pub fn torn_pages(&self) -> u64 {
+        self.state.iter().filter(|&&s| s == PageState::Torn).count() as u64
     }
 
     fn check_ppn(&self, ppn: Ppn) -> Result<()> {
@@ -135,6 +203,7 @@ impl Flash {
             PageState::Valid => Ok(self.tag[ppn as usize]),
             PageState::Free => Err(FlashError::ReadFree(ppn)),
             PageState::Invalid => Err(FlashError::ReadInvalid(ppn)),
+            PageState::Torn => Err(FlashError::ReadTorn(ppn)),
         }
     }
 
@@ -175,9 +244,15 @@ impl Flash {
 
     /// Reads page `ppn`, accounting one page-read latency.
     pub fn read_page(&mut self, ppn: Ppn, purpose: OpPurpose) -> Result<PageInfo> {
+        if self.dark() {
+            return Err(FlashError::PowerLoss);
+        }
         self.check_ppn(ppn)?;
         match self.state[ppn as usize] {
             PageState::Valid => {
+                if self.fault_trips(OpKind::Read, false) {
+                    return Err(FlashError::PowerLoss); // non-destructive
+                }
                 self.stats.record(OpKind::Read, purpose, self.geom.read_us);
                 Ok(PageInfo {
                     tag: self.tag[ppn as usize],
@@ -186,6 +261,7 @@ impl Flash {
             }
             PageState::Free => Err(FlashError::ReadFree(ppn)),
             PageState::Invalid => Err(FlashError::ReadInvalid(ppn)),
+            PageState::Torn => Err(FlashError::ReadTorn(ppn)),
         }
     }
 
@@ -200,7 +276,16 @@ impl Flash {
         Ok(self.tp_payload.get(&ppn).expect("payload checked above"))
     }
 
-    fn program_common(&mut self, ppn: Ppn, tag: u32, purpose: OpPurpose) -> Result<()> {
+    fn program_common(
+        &mut self,
+        ppn: Ppn,
+        tag: u32,
+        purpose: OpPurpose,
+        is_translation: bool,
+    ) -> Result<()> {
+        if self.dark() {
+            return Err(FlashError::PowerLoss);
+        }
         self.check_ppn(ppn)?;
         if self.state[ppn as usize] != PageState::Free {
             return Err(FlashError::ProgramNotFree(ppn));
@@ -213,8 +298,17 @@ impl Flash {
                 expected,
             });
         }
+        if self.fault_trips(OpKind::Write, is_translation) {
+            // The program pulse started: the page is torn (indeterminate
+            // charge, behind the write pointer) but never becomes valid.
+            self.state[ppn as usize] = PageState::Torn;
+            self.write_ptr[block as usize] += 1;
+            return Err(FlashError::PowerLoss);
+        }
         self.state[ppn as usize] = PageState::Valid;
         self.tag[ppn as usize] = tag;
+        self.seq[ppn as usize] = self.next_seq;
+        self.next_seq += 1;
         self.write_ptr[block as usize] += 1;
         self.valid_count[block as usize] += 1;
         self.stats
@@ -225,7 +319,7 @@ impl Flash {
     /// Programs a data page carrying `tag` (its LPN), accounting one
     /// page-program latency.
     pub fn program_page(&mut self, ppn: Ppn, tag: u32, purpose: OpPurpose) -> Result<()> {
-        self.program_common(ppn, tag, purpose)
+        self.program_common(ppn, tag, purpose, false)
     }
 
     /// Programs a page at an offset at or beyond the block's write pointer,
@@ -234,6 +328,9 @@ impl Flash {
     /// until the next erase. Needed by block-mapping FTLs, whose page
     /// position within a block is fixed by the logical offset.
     pub fn program_page_at(&mut self, ppn: Ppn, tag: u32, purpose: OpPurpose) -> Result<()> {
+        if self.dark() {
+            return Err(FlashError::PowerLoss);
+        }
         self.check_ppn(ppn)?;
         if self.state[ppn as usize] != PageState::Free {
             return Err(FlashError::ProgramNotFree(ppn));
@@ -246,8 +343,15 @@ impl Flash {
                 expected,
             });
         }
+        if self.fault_trips(OpKind::Write, false) {
+            self.state[ppn as usize] = PageState::Torn;
+            self.write_ptr[block as usize] = self.geom.offset_in_block(ppn) as u32 + 1;
+            return Err(FlashError::PowerLoss);
+        }
         self.state[ppn as usize] = PageState::Valid;
         self.tag[ppn as usize] = tag;
+        self.seq[ppn as usize] = self.next_seq;
+        self.next_seq += 1;
         self.write_ptr[block as usize] = self.geom.offset_in_block(ppn) as u32 + 1;
         self.valid_count[block as usize] += 1;
         self.stats
@@ -270,7 +374,7 @@ impl Flash {
                 expected: self.entries_per_tp,
             });
         }
-        self.program_common(ppn, vtpn, purpose)?;
+        self.program_common(ppn, vtpn, purpose, true)?;
         self.tp_payload.insert(ppn, payload);
         Ok(())
     }
@@ -279,6 +383,9 @@ impl Flash {
     /// operation with no latency, as in real FTLs where invalidation only
     /// touches RAM-resident block metadata.
     pub fn invalidate(&mut self, ppn: Ppn) -> Result<()> {
+        if self.dark() {
+            return Err(FlashError::PowerLoss);
+        }
         self.check_ppn(ppn)?;
         match self.state[ppn as usize] {
             PageState::Valid => {
@@ -292,6 +399,7 @@ impl Flash {
             }
             PageState::Free => Err(FlashError::ReadFree(ppn)),
             PageState::Invalid => Err(FlashError::ReadInvalid(ppn)),
+            PageState::Torn => Err(FlashError::ReadTorn(ppn)),
         }
     }
 
@@ -300,13 +408,31 @@ impl Flash {
     /// All pages of the block must be `Free` or `Invalid`; the garbage
     /// collector must have migrated valid pages beforehand.
     pub fn erase_block(&mut self, block: BlockId, purpose: OpPurpose) -> Result<()> {
+        if self.dark() {
+            return Err(FlashError::PowerLoss);
+        }
         self.check_block(block)?;
         if self.valid_count[block as usize] != 0 {
             return Err(FlashError::EraseWithValidPages(block));
         }
         let first = self.geom.first_ppn(block) as usize;
+        if self.fault_trips(OpKind::Erase, false) {
+            // The erase pulse was interrupted: every cell of the block holds
+            // indeterminate charge, so all of its pages are torn.
+            for s in &mut self.state[first..first + self.geom.pages_per_block] {
+                *s = PageState::Torn;
+            }
+            for q in &mut self.seq[first..first + self.geom.pages_per_block] {
+                *q = 0;
+            }
+            self.write_ptr[block as usize] = self.geom.pages_per_block as u32;
+            return Err(FlashError::PowerLoss);
+        }
         for s in &mut self.state[first..first + self.geom.pages_per_block] {
             *s = PageState::Free;
+        }
+        for q in &mut self.seq[first..first + self.geom.pages_per_block] {
+            *q = 0;
         }
         self.write_ptr[block as usize] = 0;
         self.erase_count[block as usize] += 1;
@@ -533,5 +659,112 @@ mod tests {
             Err(FlashError::BlockOutOfRange(4))
         );
         assert!(f.next_free_ppn(4).is_none());
+    }
+
+    #[test]
+    fn seq_stamps_are_monotonic_and_reset_by_erase() {
+        let mut f = small();
+        f.program_page(0, 10, OpPurpose::HostData).unwrap();
+        f.program_page(1, 11, OpPurpose::HostData).unwrap();
+        let (s0, s1) = (f.program_seq(0), f.program_seq(1));
+        assert!(s0 > 0 && s1 > s0);
+        f.invalidate(0).unwrap();
+        f.invalidate(1).unwrap();
+        f.erase_block(0, OpPurpose::GcData).unwrap();
+        assert_eq!(f.program_seq(0), 0);
+        // Stamps keep increasing across erases (device-lifetime clock).
+        f.program_page(0, 12, OpPurpose::HostData).unwrap();
+        assert!(f.program_seq(0) > s1);
+    }
+
+    #[test]
+    fn torn_program_leaves_page_unreadable_behind_write_ptr() {
+        let mut f = small();
+        f.arm_faults(FaultPlan::at_op(1));
+        f.program_page(0, 7, OpPurpose::HostData).unwrap();
+        let writes_before = f.stats().total_writes();
+        assert_eq!(
+            f.program_page(1, 8, OpPurpose::HostData),
+            Err(FlashError::PowerLoss)
+        );
+        assert_eq!(f.state(1).unwrap(), PageState::Torn);
+        assert_eq!(f.program_seq(1), 0);
+        assert_eq!(f.valid_pages_in(0).unwrap(), 1);
+        // The torn op was never completed, so it is not accounted.
+        assert_eq!(f.stats().total_writes(), writes_before);
+        // Dark device: everything fails until the plan is disarmed.
+        assert_eq!(
+            f.read_page(0, OpPurpose::HostData),
+            Err(FlashError::PowerLoss)
+        );
+        assert_eq!(
+            f.erase_block(1, OpPurpose::GcData),
+            Err(FlashError::PowerLoss)
+        );
+        let plan = f.disarm_faults().unwrap();
+        assert_eq!(plan.fired().unwrap().op_index, 1);
+        // Power restored: the torn page stays unreadable and unprogrammable
+        // (it is behind the write pointer) until its block is erased.
+        assert_eq!(
+            f.read_page(1, OpPurpose::HostData),
+            Err(FlashError::ReadTorn(1))
+        );
+        assert_eq!(f.invalidate(1), Err(FlashError::ReadTorn(1)));
+        assert_eq!(f.next_free_ppn(0), Some(2));
+        assert_eq!(f.torn_pages(), 1);
+        f.invalidate(0).unwrap();
+        f.erase_block(0, OpPurpose::GcData).unwrap();
+        assert_eq!(f.torn_pages(), 0);
+        assert_eq!(f.state(1).unwrap(), PageState::Free);
+    }
+
+    #[test]
+    fn torn_translation_program_stores_no_payload() {
+        let mut f = small();
+        f.arm_faults(FaultPlan::on_translation_write(0));
+        let payload: Box<[Ppn]> = vec![crate::PPN_NONE; 1024].into_boxed_slice();
+        assert_eq!(
+            f.program_translation_page(0, 3, payload, OpPurpose::Translation),
+            Err(FlashError::PowerLoss)
+        );
+        f.disarm_faults();
+        assert_eq!(f.state(0).unwrap(), PageState::Torn);
+        assert!(f.peek_translation_payload(0).is_none());
+    }
+
+    #[test]
+    fn interrupted_erase_tears_whole_block() {
+        let mut f = small();
+        f.program_page(0, 1, OpPurpose::HostData).unwrap();
+        f.invalidate(0).unwrap();
+        f.arm_faults(FaultPlan::on_erase(0));
+        assert_eq!(
+            f.erase_block(0, OpPurpose::GcData),
+            Err(FlashError::PowerLoss)
+        );
+        f.disarm_faults();
+        assert_eq!(f.torn_pages(), 64);
+        assert_eq!(f.state(63).unwrap(), PageState::Torn);
+        assert_eq!(f.erase_count(0).unwrap(), 0);
+        assert_eq!(f.next_free_ppn(0), None);
+        // A completed erase heals the block.
+        f.erase_block(0, OpPurpose::GcData).unwrap();
+        assert_eq!(f.torn_pages(), 0);
+        f.program_page(0, 2, OpPurpose::HostData).unwrap();
+    }
+
+    #[test]
+    fn disarmed_plans_cost_nothing_and_skipped_ops_do_not_count() {
+        let mut f = small();
+        // Fault checks sit after validation, so invalid requests (FTL bugs)
+        // still surface as their own errors and do not consume the budget.
+        f.arm_faults(FaultPlan::at_op(0));
+        assert_eq!(
+            f.read_page(0, OpPurpose::HostData),
+            Err(FlashError::ReadFree(0))
+        );
+        let plan = f.disarm_faults().unwrap();
+        assert_eq!(plan.ops_observed(), 0);
+        assert!(plan.fired().is_none());
     }
 }

@@ -27,11 +27,13 @@
 //! the on-flash mapping state is always consistent.
 
 mod error;
+mod fault;
 mod flash;
 mod geometry;
 mod stats;
 
 pub use error::FlashError;
+pub use fault::{FaultMode, FaultPlan, FaultRecord};
 pub use flash::{Flash, PageInfo, PageState};
 pub use geometry::FlashGeometry;
 pub use stats::{FlashStats, OpKind, OpPurpose, PurposeCounts};

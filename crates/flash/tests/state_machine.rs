@@ -151,6 +151,9 @@ fn device_matches_oracle() {
                                 "seed {seed}"
                             );
                         }
+                        // No fault plan is armed in this test, so the oracle
+                        // never produces torn pages.
+                        PageState::Torn => unreachable!(),
                     }
                 }
                 Op::Invalidate { ppn } => {

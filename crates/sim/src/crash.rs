@@ -1,0 +1,269 @@
+//! Differential power-loss crash testing.
+//!
+//! [`CrashHarness`] replays one fixed trace against an FTL, kills the
+//! device at an injected fault point (see `tpftl_flash::FaultPlan`),
+//! remounts with [`tpftl_core::recovery::crash_mount`], and runs the
+//! durability oracle: every *acknowledged* write — a host request `serve`
+//! returned `Ok` for — must still be readable from the persisted mapping
+//! table after recovery, and the remounted table must pass the full
+//! [`tpftl_core::recovery::verify`] consistency check.
+//!
+//! Everything is deterministic: the same config, trace, FTL, and fault
+//! plan produce a bit-identical [`CrashOutcome`], so sweeps can compare
+//! serialized outcomes across replays.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use tpftl_core::ftl::Ftl;
+use tpftl_core::recovery::{self, RecoveryReport, VerifyReport};
+use tpftl_core::{FtlError, Result, SsdConfig};
+use tpftl_flash::{FaultPlan, FlashError, Lpn, Ppn};
+use tpftl_trace::IoRequest;
+
+use crate::Ssd;
+
+/// 4 KB pages everywhere (Table 3).
+const PAGE_BYTES: u64 = 4096;
+
+/// What one crash-and-remount run observed.
+///
+/// Bit-identical across replays of the same (config, trace, FTL, plan):
+/// compare with `==` or via serialization.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashOutcome {
+    /// Name of the FTL under test.
+    pub ftl: String,
+    /// Whether the whole trace (and the final flush) completed before the
+    /// fault fired — i.e. the plan's trigger lay beyond the run.
+    pub completed_trace: bool,
+    /// Host requests acknowledged (served `Ok`) before the power loss.
+    pub requests_acknowledged: u64,
+    /// Distinct logical pages with acknowledged content (trace writes
+    /// plus the bootstrap pre-fill) the oracle checked.
+    pub pages_checked: u64,
+    /// What `crash_mount` found and repaired.
+    pub recovery: RecoveryReport,
+    /// Post-recovery mapping-table consistency check.
+    pub verify: VerifyReport,
+    /// Durability violations: acknowledged pages that are unmapped or
+    /// mis-mapped after recovery, in LPN order. Empty means no
+    /// acknowledged write was lost.
+    pub violations: Vec<String>,
+}
+
+impl CrashOutcome {
+    /// No acknowledged write lost and the remounted table is consistent.
+    pub fn is_durable(&self) -> bool {
+        self.violations.is_empty() && self.verify.is_clean()
+    }
+
+    /// Panics with every violation and verify error if not durable.
+    ///
+    /// # Panics
+    ///
+    /// See above.
+    pub fn assert_durable(&self) {
+        assert!(
+            self.violations.is_empty(),
+            "{}: {} durability violations after crash at {:?}:\n{}",
+            self.ftl,
+            self.violations.len(),
+            self.recovery.interrupted,
+            self.violations.join("\n")
+        );
+        self.verify.assert_clean();
+    }
+}
+
+/// Replays one trace against fresh FTL instances under injected power
+/// loss. The harness owns the config and the trace so every run (and
+/// every FTL) sees exactly the same request stream.
+pub struct CrashHarness {
+    config: SsdConfig,
+    trace: Vec<IoRequest>,
+}
+
+impl CrashHarness {
+    /// Builds a harness over `trace` for devices configured by `config`.
+    pub fn new(config: SsdConfig, trace: Vec<IoRequest>) -> Self {
+        Self { config, trace }
+    }
+
+    /// The device configuration every run uses.
+    pub fn config(&self) -> &SsdConfig {
+        &self.config
+    }
+
+    /// Runs the trace (plus the clean-unmount flush) against `ftl` with a
+    /// fault plan that never fires, and returns the number of flash
+    /// operations the run issued — the sweep horizon: a crash injected at
+    /// any op index below this value interrupts the run somewhere real.
+    pub fn baseline_ops<F: Ftl>(&self, ftl: F) -> Result<u64> {
+        let mut ssd = Ssd::new(ftl, self.config.clone())?;
+        ssd.arm_faults(FaultPlan::at_op(u64::MAX));
+        for req in &self.trace {
+            ssd.serve(req)?;
+        }
+        ssd.flush()?;
+        let mut flash = ssd.into_env().into_flash();
+        let plan = flash.disarm_faults().expect("plan was armed");
+        Ok(plan.ops_observed())
+    }
+
+    /// The full crash experiment: bootstrap `ftl` cleanly, arm `plan`,
+    /// replay the trace until the power fails (or the trace ends), drop
+    /// all RAM state, `crash_mount` the flash image, and check the
+    /// durability oracle against every acknowledged write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any simulator error *other* than the injected
+    /// `FlashError::PowerLoss` (which is the point of the experiment).
+    pub fn run_to_crash<F: Ftl>(&self, ftl: F, plan: FaultPlan) -> Result<CrashOutcome> {
+        // Bootstrap (pre-fill + format) happens before the plan is armed:
+        // the power loss strikes during the measured workload, and the
+        // pre-filled pages count as acknowledged content.
+        let mut ssd = Ssd::new(ftl, self.config.clone())?;
+        let name = ssd.ftl().name();
+        let prefilled = (self.config.logical_pages() as f64 * self.config.prefill_frac) as u64;
+        let mut acked: Vec<Lpn> = (0..prefilled as Lpn).collect();
+
+        ssd.arm_faults(plan);
+        let mut requests_acknowledged = 0u64;
+        let mut died = false;
+        for req in &self.trace {
+            match ssd.serve(req) {
+                Ok(_) => {
+                    requests_acknowledged += 1;
+                    if req.is_write() {
+                        acked.extend(req.pages(PAGE_BYTES).map(|p| p as Lpn));
+                    }
+                }
+                Err(FtlError::Flash(FlashError::PowerLoss)) => {
+                    died = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let mut completed_trace = false;
+        if !died {
+            // The plan may still fire inside the unmount flush.
+            match ssd.flush() {
+                Ok(()) => completed_trace = true,
+                Err(FtlError::Flash(FlashError::PowerLoss)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Power cycle: only the flash array survives.
+        let flash = ssd.into_env().into_flash();
+        let (env, recovery) = recovery::crash_mount(flash, self.config.clone())?;
+
+        // Durability oracle. A write is acknowledged only once its whole
+        // request returned `Ok`; program-before-invalidate ordering plus
+        // newest-copy election must make every such page readable again.
+        acked.sort_unstable();
+        acked.dedup();
+        let live: HashMap<Lpn, Ppn> = env
+            .flash()
+            .scan_valid()
+            .filter(|&(_, _, is_tp)| !is_tp)
+            .map(|(ppn, lpn, _)| (lpn, ppn))
+            .collect();
+        let mut violations = Vec::new();
+        for &lpn in &acked {
+            match recovery::lookup(&env, lpn) {
+                None => violations.push(format!("acknowledged LPN {lpn} unmapped after recovery")),
+                Some(ppn) if live.get(&lpn) != Some(&ppn) => violations.push(format!(
+                    "acknowledged LPN {lpn} maps to {ppn}, not its live copy {:?}",
+                    live.get(&lpn)
+                )),
+                Some(_) => {}
+            }
+        }
+
+        Ok(CrashOutcome {
+            ftl: name,
+            completed_trace,
+            requests_acknowledged,
+            pages_checked: acked.len() as u64,
+            recovery,
+            verify: recovery::verify(&env),
+            violations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpftl_core::ftl::{TpFtl, TpftlConfig};
+    use tpftl_trace::SyntheticSpec;
+
+    fn harness() -> CrashHarness {
+        let mut config = SsdConfig::paper_default(4 << 20);
+        config.cache_bytes = config.gtd_bytes() + 2048;
+        let spec = SyntheticSpec {
+            requests: 120,
+            address_bytes: 4 << 20,
+            write_ratio: 0.7,
+            mean_req_sectors: 8.0,
+            ..SyntheticSpec::default()
+        };
+        CrashHarness::new(config, spec.iter(11).collect())
+    }
+
+    fn tpftl(c: &SsdConfig) -> TpFtl {
+        TpFtl::new(c, TpftlConfig::full()).expect("budget")
+    }
+
+    #[test]
+    fn baseline_counts_ops_without_firing() {
+        let h = harness();
+        let ops = h.baseline_ops(tpftl(h.config())).expect("baseline");
+        assert!(ops > 0);
+    }
+
+    #[test]
+    fn unfired_plan_completes_and_is_durable() {
+        let h = harness();
+        let out = h
+            .run_to_crash(tpftl(h.config()), FaultPlan::at_op(u64::MAX))
+            .expect("run");
+        assert!(out.completed_trace);
+        assert!(out.recovery.interrupted.is_none());
+        assert_eq!(out.requests_acknowledged, 120);
+        out.assert_durable();
+    }
+
+    #[test]
+    fn midway_crash_recovers_every_acknowledged_write() {
+        let h = harness();
+        let ops = h.baseline_ops(tpftl(h.config())).expect("baseline");
+        let out = h
+            .run_to_crash(tpftl(h.config()), FaultPlan::at_op(ops / 2))
+            .expect("run");
+        assert!(!out.completed_trace);
+        assert_eq!(out.recovery.interrupted.map(|i| i.op_index), Some(ops / 2));
+        out.assert_durable();
+    }
+
+    #[test]
+    fn same_plan_gives_bit_identical_outcome() {
+        let h = harness();
+        let ops = h.baseline_ops(tpftl(h.config())).expect("baseline");
+        let a = h
+            .run_to_crash(tpftl(h.config()), FaultPlan::at_op(ops / 3))
+            .expect("run");
+        let b = h
+            .run_to_crash(tpftl(h.config()), FaultPlan::at_op(ops / 3))
+            .expect("run");
+        assert_eq!(a, b, "crash recovery must be deterministic");
+        assert_eq!(
+            serde_json::to_string(&a.recovery),
+            serde_json::to_string(&b.recovery)
+        );
+    }
+}

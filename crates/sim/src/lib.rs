@@ -12,11 +12,13 @@
 //! of Figure 6(e).
 
 mod buffer;
+mod crash;
 mod report;
 mod sampler;
 mod ssd;
 
 pub use buffer::{BufferStats, WriteBuffer};
+pub use crash::{CrashHarness, CrashOutcome};
 pub use report::RunReport;
 pub use sampler::{CacheSample, CacheSampler, MAX_DIRTY_BUCKET};
 pub use ssd::Ssd;

@@ -101,6 +101,32 @@ impl<F: Ftl> Ssd<F> {
         &self.env
     }
 
+    /// Arms a power-loss fault plan on the underlying flash device; the
+    /// corresponding operation (and everything after it) fails with
+    /// `FlashError::PowerLoss`. See `tpftl_flash::FaultPlan`.
+    pub fn arm_faults(&mut self, plan: tpftl_flash::FaultPlan) {
+        self.env.arm_faults(plan);
+    }
+
+    /// The fatal operation, if an armed fault plan has fired.
+    pub fn fault_fired(&self) -> Option<tpftl_flash::FaultRecord> {
+        self.env.fault_fired()
+    }
+
+    /// Flushes the write buffer and every dirty mapping entry to flash —
+    /// the clean-unmount barrier.
+    pub fn flush(&mut self) -> Result<()> {
+        self.flush_buffer()?;
+        tpftl_core::recovery::flush_cache(&mut self.ftl, &mut self.env)
+    }
+
+    /// Consumes the SSD, dropping all FTL RAM state, and returns the
+    /// environment — the first half of a power cycle (follow with
+    /// [`tpftl_core::env::SsdEnv::into_flash`]).
+    pub fn into_env(self) -> SsdEnv {
+        self.env
+    }
+
     /// Detaches and returns the sampler with its collected samples.
     pub fn take_sampler(&mut self) -> Option<CacheSampler> {
         self.sampler.take()

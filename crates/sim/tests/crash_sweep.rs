@@ -1,0 +1,112 @@
+//! Exhaustive crash-point sweep: inject a power loss at *every* flash-op
+//! index of a fixed 500-request trace and prove the durability invariant
+//! holds at each one — no acknowledged write is lost, no mapping points at
+//! a torn or dead page, and `recovery::verify` is clean after remount.
+//!
+//! This is a loop over every op index, not a sample: if any single
+//! interleaving of (program, invalidate, erase) can lose data, this test
+//! finds it.
+
+use tpftl_core::ftl::{TpFtl, TpftlConfig};
+use tpftl_core::SsdConfig;
+use tpftl_flash::FaultPlan;
+use tpftl_sim::CrashHarness;
+use tpftl_trace::SyntheticSpec;
+
+fn config() -> SsdConfig {
+    // Small device so the full sweep stays fast, cache starved enough to
+    // force translation-page traffic, prefill high enough to force GC.
+    let mut c = SsdConfig::paper_default(4 << 20);
+    c.cache_bytes = c.gtd_bytes() + 1024;
+    c.prefill_frac = 0.6;
+    c
+}
+
+fn trace() -> Vec<tpftl_trace::IoRequest> {
+    let spec = SyntheticSpec {
+        requests: 500,
+        address_bytes: 4 << 20,
+        write_ratio: 0.7,
+        mean_req_sectors: 8.0,
+        ..SyntheticSpec::default()
+    };
+    spec.iter(42).collect()
+}
+
+fn ftl(c: &SsdConfig) -> TpFtl {
+    TpFtl::new(c, TpftlConfig::full()).expect("budget")
+}
+
+/// The tentpole acceptance test: every op index, zero violations.
+#[test]
+fn power_loss_at_every_op_index_is_recoverable() {
+    let h = CrashHarness::new(config(), trace());
+    let horizon = h.baseline_ops(ftl(h.config())).expect("baseline");
+    assert!(
+        horizon > 1_000,
+        "trace too small to be interesting: {horizon}"
+    );
+
+    let mut interrupted_kinds = std::collections::BTreeSet::new();
+    for op in 0..horizon {
+        let out = h
+            .run_to_crash(ftl(h.config()), FaultPlan::at_op(op))
+            .unwrap_or_else(|e| panic!("op {op}: harness error {e}"));
+        assert!(
+            out.is_durable(),
+            "op {op} ({:?}): {} violations, {} verify errors\n{}\n{}",
+            out.recovery.interrupted,
+            out.violations.len(),
+            out.verify.errors.len(),
+            out.violations.join("\n"),
+            out.verify.errors.join("\n")
+        );
+        let fired = out
+            .recovery
+            .interrupted
+            .unwrap_or_else(|| panic!("op {op} below the horizon must fire"));
+        assert_eq!(fired.op_index, op);
+        interrupted_kinds.insert(format!("{:?}", fired.kind));
+    }
+    // The sweep must have exercised interrupted reads, writes, and erases.
+    assert!(
+        interrupted_kinds.len() >= 3,
+        "sweep only interrupted {interrupted_kinds:?}"
+    );
+}
+
+/// The other trigger modes — Kth translation-page write, Kth erase —
+/// reach states the flat op sweep also covers, but must fire where they
+/// say they do.
+#[test]
+fn translation_write_and_erase_triggers_are_recoverable() {
+    let h = CrashHarness::new(config(), trace());
+    for k in [0, 1, 7, 40] {
+        let out = h
+            .run_to_crash(ftl(h.config()), FaultPlan::on_translation_write(k))
+            .expect("harness");
+        out.assert_durable();
+        let out = h
+            .run_to_crash(ftl(h.config()), FaultPlan::on_erase(k))
+            .expect("harness");
+        out.assert_durable();
+    }
+}
+
+/// Seeded plans are deterministic: the same seed produces bit-identical
+/// outcomes (including the serialized recovery report), different seeds
+/// pick different crash points.
+#[test]
+fn seeded_plans_are_deterministic() {
+    let h = CrashHarness::new(config(), trace());
+    let horizon = h.baseline_ops(ftl(h.config())).expect("baseline");
+    let a = h
+        .run_to_crash(ftl(h.config()), FaultPlan::seeded(9, horizon))
+        .expect("run");
+    let b = h
+        .run_to_crash(ftl(h.config()), FaultPlan::seeded(9, horizon))
+        .expect("run");
+    assert_eq!(a, b, "same seed must reproduce the same crash + recovery");
+    a.assert_durable();
+    b.assert_durable();
+}
