@@ -1,0 +1,129 @@
+//! `bench-diff` — the perf-regression gate.
+//!
+//! Runs the benchmark matrix (or loads a previously written report via
+//! `--fresh`) and compares it against the committed `BENCH_ftl.json`
+//! baseline. Exits nonzero when any `(scenario, ftl)` median regresses
+//! by more than the threshold, or when a baseline scenario is missing
+//! from the fresh run — so a perf regression, or a scenario silently
+//! dropped from the harness, fails CI instead of landing unnoticed.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench-diff [--quick] [--baseline PATH] [--fresh PATH]
+//!            [--threshold PCT] [--filter SUBSTR] [--out PATH]
+//! ```
+//!
+//! * `--quick`     — CI smoke sizing for the fresh run (fewer samples/ops).
+//! * `--baseline`  — baseline report path (default `BENCH_ftl.json`).
+//! * `--fresh`     — compare an existing `ftlbench-v1` report instead of
+//!   running the benchmarks.
+//! * `--threshold` — regression threshold in percent (default 15).
+//! * `--filter`    — restrict both sides to `scenario/ftl` ids containing
+//!   SUBSTR.
+//! * `--out`       — diff report JSON path (default `bench_diff.json`).
+
+use serde_json::Value;
+
+struct Opts {
+    quick: bool,
+    baseline: String,
+    fresh: Option<String>,
+    threshold: f64,
+    filter: Option<String>,
+    out: String,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        quick: false,
+        baseline: "BENCH_ftl.json".to_string(),
+        fresh: None,
+        threshold: 15.0,
+        filter: None,
+        out: "bench_diff.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--baseline" => opts.baseline = need(&mut args, "--baseline"),
+            "--fresh" => opts.fresh = Some(need(&mut args, "--fresh")),
+            "--threshold" => {
+                let raw = need(&mut args, "--threshold");
+                opts.threshold = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--threshold needs a number, got {raw:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--filter" => opts.filter = Some(need(&mut args, "--filter")),
+            "--out" => opts.out = need(&mut args, "--out"),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!(
+                    "usage: bench-diff [--quick] [--baseline PATH] [--fresh PATH] \
+                     [--threshold PCT] [--filter SUBSTR] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn load_report(path: &str) -> Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("error: cannot parse {path}: {e:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let opts = parse_opts();
+    let baseline = load_report(&opts.baseline);
+    let fresh = match &opts.fresh {
+        Some(path) => load_report(path),
+        None => {
+            eprintln!(
+                "running fresh benchmarks ({} mode)...",
+                if opts.quick { "quick" } else { "full" }
+            );
+            let records = tpftl_bench::run_all(opts.quick, opts.filter.as_deref());
+            tpftl_bench::render_json(&records, opts.quick)
+        }
+    };
+
+    let report =
+        tpftl_bench::diff::diff_reports(&baseline, &fresh, opts.threshold, opts.filter.as_deref())
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            });
+
+    print!("{}", report.render_table());
+    let text = serde_json::to_string_pretty(&report.to_json()).expect("render JSON");
+    if let Err(e) = std::fs::write(&opts.out, text + "\n") {
+        eprintln!("error: cannot write {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", opts.out);
+
+    if report.has_failure() {
+        eprintln!(
+            "FAIL: regression over {}% (or missing scenario) vs {}",
+            opts.threshold, opts.baseline
+        );
+        std::process::exit(1);
+    }
+    eprintln!("OK: within {}% of {}", opts.threshold, opts.baseline);
+}

@@ -1,9 +1,9 @@
 //! `ftlbench` — std-only FTL benchmark harness.
 //!
-//! Replaces the old criterion benches (criterion cannot build offline):
-//! plain `Instant` timing with warmup iterations and median-of-k samples.
-//! Covers the translation hot paths of every cached-mapping FTL plus a
-//! macro trace replay, and writes a machine-readable `BENCH_ftl.json`.
+//! Thin CLI over [`tpftl_bench`]: runs the scenario matrix and writes a
+//! machine-readable `BENCH_ftl.json` (`schema: "ftlbench-v1"`). See the
+//! library crate for the scenarios and the JSON schema; see `bench-diff`
+//! for the regression gate over two such reports.
 //!
 //! Usage:
 //!
@@ -14,27 +14,6 @@
 //! * `--quick`  — fewer samples/ops; the CI smoke configuration.
 //! * `--filter` — run only scenarios whose `scenario/ftl` id contains SUBSTR.
 //! * `--out`    — JSON output path (default `BENCH_ftl.json`).
-//!
-//! JSON schema (`schema: "ftlbench-v1"`): `results` is a list of records
-//! with `scenario`, `ftl`, `ns_per_op` (median), `min_ns_per_op`,
-//! `mean_ns_per_op`, `ops_per_iter`, `samples`, and optional scenario
-//! extras (`hit_ratio`, `requests_per_sec`, `avg_response_us`,
-//! `translation_reads`, `translation_writes`).
-
-use std::hint::black_box;
-use std::time::Instant;
-
-use serde_json::Value;
-use tpftl_core::driver;
-use tpftl_core::env::SsdEnv;
-use tpftl_core::ftl::{AccessCtx, Ftl};
-use tpftl_core::SsdConfig;
-use tpftl_experiments::runner::{device_config, FtlKind, SEED};
-use tpftl_sim::Ssd;
-use tpftl_trace::presets::Workload;
-
-/// The FTLs under test: the paper's cached-mapping designs.
-const KINDS: [FtlKind; 4] = [FtlKind::Tpftl, FtlKind::Dftl, FtlKind::Sftl, FtlKind::Cdftl];
 
 struct Opts {
     quick: bool,
@@ -69,244 +48,11 @@ fn parse_opts() -> Opts {
     opts
 }
 
-/// One timed record, already reduced over its samples.
-struct Record {
-    scenario: &'static str,
-    ftl: String,
-    ops_per_iter: u64,
-    samples: Vec<f64>, // ns per op
-    extra: Vec<(&'static str, Value)>,
-}
-
-impl Record {
-    fn median(&self) -> f64 {
-        let mut s = self.samples.clone();
-        s.sort_by(|a, b| a.total_cmp(b));
-        s[s.len() / 2]
-    }
-
-    fn min(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
-    }
-
-    fn mean(&self) -> f64 {
-        self.samples.iter().sum::<f64>() / self.samples.len() as f64
-    }
-
-    fn to_json(&self) -> Value {
-        let mut fields = vec![
-            ("scenario", Value::Str(self.scenario.to_string())),
-            ("ftl", Value::Str(self.ftl.clone())),
-            ("ns_per_op", Value::Float(self.median())),
-            ("min_ns_per_op", Value::Float(self.min())),
-            ("mean_ns_per_op", Value::Float(self.mean())),
-            ("ops_per_iter", Value::UInt(self.ops_per_iter)),
-            ("samples", Value::UInt(self.samples.len() as u64)),
-        ];
-        fields.extend(self.extra.iter().cloned());
-        Value::Object(
-            fields
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
-    }
-}
-
-/// Times `iter` (which performs `ops` operations per call): `warmup`
-/// unmeasured calls, then `samples` measured ones; returns ns/op per sample.
-fn time_samples<F: FnMut()>(warmup: usize, samples: usize, ops: u64, mut iter: F) -> Vec<f64> {
-    for _ in 0..warmup {
-        iter();
-    }
-    (0..samples)
-        .map(|_| {
-            let t = Instant::now();
-            iter();
-            t.elapsed().as_nanos() as f64 / ops as f64
-        })
-        .collect()
-}
-
-/// A 64 MB device with a 16 KB mapping-cache budget on top of the GTD —
-/// small enough to set up quickly, large enough for a real miss stream.
-fn micro_config() -> SsdConfig {
-    let mut config = SsdConfig::paper_default(64 << 20);
-    config.cache_bytes = config.gtd_bytes() + 16 * 1024;
-    config
-}
-
-fn build(kind: FtlKind, config: &SsdConfig) -> (Box<dyn Ftl + Send>, SsdEnv) {
-    let mut ftl = kind.build(config).expect("FTL builds");
-    let mut env = SsdEnv::new(config.clone()).expect("env builds");
-    driver::bootstrap(ftl.as_mut(), &mut env).expect("bootstrap");
-    (ftl, env)
-}
-
-/// Cache-hit translation path: one warmed entry translated repeatedly.
-fn bench_translate_hit(kind: FtlKind, warmup: usize, samples: usize, ops: u64) -> Record {
-    let config = micro_config();
-    let (mut ftl, mut env) = build(kind, &config);
-    driver::serve_page_access(ftl.as_mut(), &mut env, 42, AccessCtx::single(true))
-        .expect("warm write");
-    let ctx = AccessCtx::single(false);
-    let ns = time_samples(warmup, samples, ops, || {
-        for _ in 0..ops {
-            black_box(ftl.translate(&mut env, black_box(42), &ctx).expect("hit"));
-        }
-    });
-    let hit_ratio = env.stats.hits as f64 / env.stats.lookups as f64;
-    Record {
-        scenario: "translate_hit",
-        ftl: ftl.name(),
-        ops_per_iter: ops,
-        samples: ns,
-        extra: vec![("hit_ratio", Value::Float(hit_ratio))],
-    }
-}
-
-/// Miss-dominated scan: a large-stride cursor defeats the cache, so every
-/// translation pays lookup + eviction + translation-page load.
-fn bench_miss_scan(kind: FtlKind, warmup: usize, samples: usize, ops: u64) -> Record {
-    let config = micro_config();
-    let pages = config.logical_pages() as u32;
-    let (mut ftl, mut env) = build(kind, &config);
-    let ctx = AccessCtx::single(false);
-    let mut cursor: u32 = 0;
-    let ns = time_samples(warmup, samples, ops, || {
-        for _ in 0..ops {
-            black_box(
-                ftl.translate(&mut env, black_box(cursor), &ctx)
-                    .expect("translate"),
-            );
-            cursor = (cursor + 4099) % pages;
-        }
-    });
-    let hit_ratio = env.stats.hits as f64 / env.stats.lookups as f64;
-    Record {
-        scenario: "miss_scan",
-        ftl: ftl.name(),
-        ops_per_iter: ops,
-        samples: ns,
-        extra: vec![("hit_ratio", Value::Float(hit_ratio))],
-    }
-}
-
-/// Write path on a full device: updates dirty the cache and keep garbage
-/// collection (data + translation blocks) in the loop.
-fn bench_write_gc(kind: FtlKind, warmup: usize, samples: usize, ops: u64) -> Record {
-    let mut config = micro_config();
-    config.prefill_frac = 1.0;
-    let window = (config.logical_pages() / 8) as u32;
-    let (mut ftl, mut env) = build(kind, &config);
-    let ctx = AccessCtx::single(true);
-    let mut cursor: u32 = 0;
-    let ns = time_samples(warmup, samples, ops, || {
-        for _ in 0..ops {
-            driver::serve_page_access(ftl.as_mut(), &mut env, cursor, ctx).expect("write");
-            cursor = (cursor + 127) % window;
-        }
-    });
-    let hit_ratio = env.stats.hits as f64 / env.stats.lookups as f64;
-    Record {
-        scenario: "write_gc",
-        ftl: ftl.name(),
-        ops_per_iter: ops,
-        samples: ns,
-        extra: vec![("hit_ratio", Value::Float(hit_ratio))],
-    }
-}
-
-/// Macro replay: the Financial1 synthetic trace end to end through the
-/// simulator (arrival timing, write handling, GC), fresh device per sample.
-fn bench_replay(kind: FtlKind, samples: usize, requests: usize) -> Record {
-    let workload = Workload::Financial1;
-    let config = device_config(workload);
-    let spec = workload.spec(requests);
-    let mut ns = Vec::new();
-    let mut last = None;
-    for _ in 0..samples {
-        let ftl = kind.build(&config).expect("FTL builds");
-        let mut ssd = Ssd::new(ftl, config.clone()).expect("ssd builds");
-        let t = Instant::now();
-        let report = ssd.run(spec.iter(SEED)).expect("replay");
-        ns.push(t.elapsed().as_nanos() as f64 / requests as f64);
-        last = Some(report);
-    }
-    let report = last.expect("at least one sample");
-    let median = {
-        let mut s = ns.clone();
-        s.sort_by(|a, b| a.total_cmp(b));
-        s[s.len() / 2]
-    };
-    Record {
-        scenario: "replay_financial1",
-        ftl: kind.build(&config).expect("FTL builds").name(),
-        ops_per_iter: requests as u64,
-        samples: ns,
-        extra: vec![
-            ("requests_per_sec", Value::Float(1e9 / median)),
-            ("hit_ratio", Value::Float(report.hit_ratio())),
-            ("avg_response_us", Value::Float(report.avg_response_us)),
-            ("translation_reads", Value::UInt(report.translation_reads())),
-            (
-                "translation_writes",
-                Value::UInt(report.translation_writes()),
-            ),
-        ],
-    }
-}
-
 fn main() {
     let opts = parse_opts();
-    let (warmup, samples) = if opts.quick { (1, 3) } else { (3, 9) };
-    let (hit_ops, miss_ops, write_ops) = if opts.quick {
-        (1024, 128, 256)
-    } else {
-        (4096, 256, 512)
-    };
-    let replay_requests = if opts.quick { 12_000 } else { 60_000 };
-
-    let mut records = Vec::new();
-    for kind in KINDS {
-        records.push(bench_translate_hit(kind, warmup, samples, hit_ops));
-        records.push(bench_miss_scan(kind, warmup, samples, miss_ops));
-        records.push(bench_write_gc(kind, warmup, samples, write_ops));
-        records.push(bench_replay(kind, samples.min(3), replay_requests));
-    }
-    if let Some(f) = &opts.filter {
-        records.retain(|r| format!("{}/{}", r.scenario, r.ftl).contains(f.as_str()));
-    }
-
-    println!(
-        "{:<18} {:<14} {:>12} {:>12} {:>10}",
-        "scenario", "ftl", "median ns/op", "min ns/op", "hit ratio"
-    );
-    for r in &records {
-        let hit = r
-            .extra
-            .iter()
-            .find(|(k, _)| *k == "hit_ratio")
-            .and_then(|(_, v)| v.as_f64())
-            .map_or_else(|| "-".to_string(), |h| format!("{h:.4}"));
-        println!(
-            "{:<18} {:<14} {:>12.1} {:>12.1} {:>10}",
-            r.scenario,
-            r.ftl,
-            r.median(),
-            r.min(),
-            hit
-        );
-    }
-
-    let json = Value::Object(vec![
-        ("schema".to_string(), Value::Str("ftlbench-v1".to_string())),
-        ("quick".to_string(), Value::Bool(opts.quick)),
-        (
-            "results".to_string(),
-            Value::Array(records.iter().map(Record::to_json).collect()),
-        ),
-    ]);
+    let records = tpftl_bench::run_all(opts.quick, opts.filter.as_deref());
+    tpftl_bench::print_table(&records);
+    let json = tpftl_bench::render_json(&records, opts.quick);
     let text = serde_json::to_string_pretty(&json).expect("render JSON");
     if let Err(e) = std::fs::write(&opts.out, text + "\n") {
         eprintln!("error: cannot write {}: {e}", opts.out);

@@ -1,0 +1,296 @@
+//! Comparison of two `ftlbench-v1` reports — the perf-regression gate.
+//!
+//! The baseline is the committed `BENCH_ftl.json`; the fresh side is
+//! either a live run or a previously written report. A row regresses
+//! when its fresh median exceeds the baseline median by more than the
+//! threshold percentage; a baseline row absent from the fresh report is
+//! also a failure (a silently dropped scenario must not pass the gate).
+//! Fresh rows with no baseline counterpart are reported as `new` and do
+//! not fail the gate, so adding a scenario does not require a lockstep
+//! baseline refresh.
+
+use serde_json::Value;
+
+/// Verdict for one `(scenario, ftl)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowStatus {
+    /// Within the threshold (including improvements).
+    Ok,
+    /// Fresh median exceeds baseline by more than the threshold.
+    Regression,
+    /// Present only in the fresh report.
+    New,
+    /// Present only in the baseline — the scenario silently disappeared.
+    Missing,
+}
+
+impl RowStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            RowStatus::Ok => "ok",
+            RowStatus::Regression => "REGRESSION",
+            RowStatus::New => "new",
+            RowStatus::Missing => "MISSING",
+        }
+    }
+}
+
+/// One compared `(scenario, ftl)` pair.
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    pub scenario: String,
+    pub ftl: String,
+    pub baseline_ns: Option<f64>,
+    pub fresh_ns: Option<f64>,
+    /// `(fresh - baseline) / baseline * 100`; `None` for one-sided rows.
+    pub delta_pct: Option<f64>,
+    pub status: RowStatus,
+}
+
+/// The full comparison, ready to render or serialize.
+#[derive(Debug)]
+pub struct DiffReport {
+    pub threshold_pct: f64,
+    pub rows: Vec<DiffRow>,
+}
+
+impl DiffReport {
+    /// True when any row regressed or went missing — the gate's exit code.
+    pub fn has_failure(&self) -> bool {
+        self.rows
+            .iter()
+            .any(|r| matches!(r.status, RowStatus::Regression | RowStatus::Missing))
+    }
+
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            (
+                "schema".to_string(),
+                Value::Str("ftlbench-diff-v1".to_string()),
+            ),
+            (
+                "threshold_pct".to_string(),
+                Value::Float(self.threshold_pct),
+            ),
+            ("failed".to_string(), Value::Bool(self.has_failure())),
+            (
+                "rows".to_string(),
+                Value::Array(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            let opt = |v: Option<f64>| v.map_or(Value::Null, Value::Float);
+                            Value::Object(vec![
+                                ("scenario".to_string(), Value::Str(r.scenario.clone())),
+                                ("ftl".to_string(), Value::Str(r.ftl.clone())),
+                                ("baseline_ns_per_op".to_string(), opt(r.baseline_ns)),
+                                ("fresh_ns_per_op".to_string(), opt(r.fresh_ns)),
+                                ("delta_pct".to_string(), opt(r.delta_pct)),
+                                (
+                                    "status".to_string(),
+                                    Value::Str(r.status.as_str().to_string()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Renders the human-readable comparison table.
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "{:<18} {:<14} {:>12} {:>12} {:>8}  {}\n",
+            "scenario", "ftl", "baseline", "fresh", "delta", "status"
+        );
+        let fmt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |n| format!("{n:.1}"));
+        for r in &self.rows {
+            let delta = r
+                .delta_pct
+                .map_or_else(|| "-".to_string(), |d| format!("{d:+.1}%"));
+            out.push_str(&format!(
+                "{:<18} {:<14} {:>12} {:>12} {:>8}  {}\n",
+                r.scenario,
+                r.ftl,
+                fmt(r.baseline_ns),
+                fmt(r.fresh_ns),
+                delta,
+                r.status.as_str()
+            ));
+        }
+        out
+    }
+}
+
+/// `(scenario, ftl)` row key paired with its median ns/op.
+type IndexedRow = ((String, String), f64);
+
+/// Extracts `(scenario, ftl) -> median ns_per_op` from an `ftlbench-v1`
+/// document, in document order.
+fn index_report(report: &Value) -> Result<Vec<IndexedRow>, String> {
+    let results = report
+        .get("results")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "report has no `results` array".to_string())?;
+    results
+        .iter()
+        .map(|r| {
+            let field = |k: &str| {
+                r.get(k)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("result record missing `{k}`"))
+            };
+            let ns = r
+                .get("ns_per_op")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| "result record missing `ns_per_op`".to_string())?;
+            Ok(((field("scenario")?, field("ftl")?), ns))
+        })
+        .collect()
+}
+
+/// Compares `fresh` against `baseline` with the given regression
+/// threshold (percent). `filter` restricts both sides to rows whose
+/// `scenario/ftl` id contains it, so a filtered fresh run is not
+/// penalized for the baseline rows it never attempted.
+pub fn diff_reports(
+    baseline: &Value,
+    fresh: &Value,
+    threshold_pct: f64,
+    filter: Option<&str>,
+) -> Result<DiffReport, String> {
+    let keep =
+        |key: &(String, String)| filter.is_none_or(|f| format!("{}/{}", key.0, key.1).contains(f));
+    let base: Vec<_> = index_report(baseline)?
+        .into_iter()
+        .filter(|(k, _)| keep(k))
+        .collect();
+    let new: Vec<_> = index_report(fresh)?
+        .into_iter()
+        .filter(|(k, _)| keep(k))
+        .collect();
+
+    let mut rows = Vec::new();
+    for ((scenario, ftl), base_ns) in &base {
+        let fresh_ns = new
+            .iter()
+            .find(|((s, f), _)| s == scenario && f == ftl)
+            .map(|&(_, ns)| ns);
+        let (delta_pct, status) = match fresh_ns {
+            Some(ns) => {
+                let delta = (ns - base_ns) / base_ns * 100.0;
+                let status = if delta > threshold_pct {
+                    RowStatus::Regression
+                } else {
+                    RowStatus::Ok
+                };
+                (Some(delta), status)
+            }
+            None => (None, RowStatus::Missing),
+        };
+        rows.push(DiffRow {
+            scenario: scenario.clone(),
+            ftl: ftl.clone(),
+            baseline_ns: Some(*base_ns),
+            fresh_ns,
+            delta_pct,
+            status,
+        });
+    }
+    for ((scenario, ftl), ns) in &new {
+        if !base.iter().any(|((s, f), _)| s == scenario && f == ftl) {
+            rows.push(DiffRow {
+                scenario: scenario.clone(),
+                ftl: ftl.clone(),
+                baseline_ns: None,
+                fresh_ns: Some(*ns),
+                delta_pct: None,
+                status: RowStatus::New,
+            });
+        }
+    }
+    Ok(DiffReport {
+        threshold_pct,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rows: &[(&str, &str, f64)]) -> Value {
+        Value::Object(vec![
+            ("schema".to_string(), Value::Str("ftlbench-v1".to_string())),
+            (
+                "results".to_string(),
+                Value::Array(
+                    rows.iter()
+                        .map(|(s, f, ns)| {
+                            Value::Object(vec![
+                                ("scenario".to_string(), Value::Str(s.to_string())),
+                                ("ftl".to_string(), Value::Str(f.to_string())),
+                                ("ns_per_op".to_string(), Value::Float(*ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The negative test for the gate: a synthetic +50% regression on one
+    /// row must fail the report while the in-threshold rows stay ok.
+    #[test]
+    fn synthetic_regression_fails_the_gate() {
+        let base = report(&[("miss_scan", "TPFTL", 100.0), ("write_gc", "TPFTL", 80.0)]);
+        let fresh = report(&[
+            ("miss_scan", "TPFTL", 150.0), // +50%: regression
+            ("write_gc", "TPFTL", 88.0),   // +10%: within threshold
+        ]);
+        let d = diff_reports(&base, &fresh, 15.0, None).unwrap();
+        assert!(d.has_failure());
+        assert_eq!(d.rows[0].status, RowStatus::Regression);
+        assert!((d.rows[0].delta_pct.unwrap() - 50.0).abs() < 1e-9);
+        assert_eq!(d.rows[1].status, RowStatus::Ok);
+    }
+
+    #[test]
+    fn improvement_and_exact_threshold_pass() {
+        let base = report(&[("a", "x", 100.0), ("b", "x", 100.0)]);
+        let fresh = report(&[("a", "x", 40.0), ("b", "x", 115.0)]);
+        let d = diff_reports(&base, &fresh, 15.0, None).unwrap();
+        assert!(!d.has_failure());
+        assert!(d.rows.iter().all(|r| r.status == RowStatus::Ok));
+    }
+
+    #[test]
+    fn missing_scenario_fails_but_new_scenario_passes() {
+        let base = report(&[("a", "x", 100.0)]);
+        let fresh = report(&[("b", "x", 10.0)]);
+        let d = diff_reports(&base, &fresh, 15.0, None).unwrap();
+        assert!(d.has_failure());
+        assert_eq!(d.rows[0].status, RowStatus::Missing);
+        assert_eq!(d.rows[1].status, RowStatus::New);
+
+        let only_new = diff_reports(&report(&[]), &fresh, 15.0, None).unwrap();
+        assert!(!only_new.has_failure());
+    }
+
+    #[test]
+    fn filter_restricts_both_sides() {
+        let base = report(&[("a", "x", 100.0), ("b", "x", 100.0)]);
+        let fresh = report(&[("a", "x", 101.0)]); // "b" never attempted
+        let d = diff_reports(&base, &fresh, 15.0, Some("a/")).unwrap();
+        assert!(!d.has_failure());
+        assert_eq!(d.rows.len(), 1);
+    }
+
+    #[test]
+    fn malformed_report_is_an_error() {
+        let bad = Value::Object(vec![("schema".to_string(), Value::Str("x".to_string()))]);
+        assert!(diff_reports(&bad, &report(&[]), 15.0, None).is_err());
+    }
+}

@@ -1,2 +1,50 @@
-//! Benchmark crate; the harness lives in `src/bin/ftlbench.rs` (std-only
-//! timing, no criterion, so the workspace builds offline).
+//! Benchmark library shared by the `ftlbench` and `bench-diff` binaries.
+//!
+//! Std-only timing (no criterion, so the workspace builds offline): plain
+//! `Instant` with warmup iterations and median-of-k samples. The scenario
+//! functions in [`scenarios`] cover the translation hot paths of every
+//! cached-mapping FTL, the GC valid-page scan, and a macro trace replay;
+//! [`diff`] compares two `ftlbench-v1` reports for the CI regression gate.
+
+pub mod diff;
+pub mod scenarios;
+
+use serde_json::Value;
+
+pub use scenarios::{run_all, Record};
+
+/// Renders a slice of records as the `ftlbench-v1` JSON document.
+pub fn render_json(records: &[Record], quick: bool) -> Value {
+    Value::Object(vec![
+        ("schema".to_string(), Value::Str("ftlbench-v1".to_string())),
+        ("quick".to_string(), Value::Bool(quick)),
+        (
+            "results".to_string(),
+            Value::Array(records.iter().map(Record::to_json).collect()),
+        ),
+    ])
+}
+
+/// Prints the human-readable results table to stdout.
+pub fn print_table(records: &[Record]) {
+    println!(
+        "{:<18} {:<14} {:>12} {:>12} {:>10}",
+        "scenario", "ftl", "median ns/op", "min ns/op", "hit ratio"
+    );
+    for r in records {
+        let hit = r
+            .extra
+            .iter()
+            .find(|(k, _)| *k == "hit_ratio")
+            .and_then(|(_, v)| v.as_f64())
+            .map_or_else(|| "-".to_string(), |h| format!("{h:.4}"));
+        println!(
+            "{:<18} {:<14} {:>12.1} {:>12.1} {:>10}",
+            r.scenario,
+            r.ftl,
+            r.median(),
+            r.min(),
+            hit
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! The benchmark scenarios and their timing harness.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use serde_json::Value;
+use tpftl_core::driver;
+use tpftl_core::env::SsdEnv;
+use tpftl_core::ftl::{AccessCtx, Ftl};
+use tpftl_core::SsdConfig;
+use tpftl_experiments::runner::{device_config, FtlKind, SEED};
+use tpftl_flash::{Flash, FlashGeometry, OpPurpose};
+use tpftl_sim::Ssd;
+use tpftl_trace::presets::Workload;
+
+/// The FTLs under test: the paper's cached-mapping designs.
+pub const KINDS: [FtlKind; 4] = [FtlKind::Tpftl, FtlKind::Dftl, FtlKind::Sftl, FtlKind::Cdftl];
+
+/// One timed record, already reduced over its samples.
+pub struct Record {
+    pub scenario: &'static str,
+    pub ftl: String,
+    pub ops_per_iter: u64,
+    pub samples: Vec<f64>, // ns per op
+    pub extra: Vec<(&'static str, Value)>,
+}
+
+impl Record {
+    pub fn median(&self) -> f64 {
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        s[s.len() / 2]
+    }
+
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    pub fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("scenario", Value::Str(self.scenario.to_string())),
+            ("ftl", Value::Str(self.ftl.clone())),
+            ("ns_per_op", Value::Float(self.median())),
+            ("min_ns_per_op", Value::Float(self.min())),
+            ("mean_ns_per_op", Value::Float(self.mean())),
+            ("ops_per_iter", Value::UInt(self.ops_per_iter)),
+            ("samples", Value::UInt(self.samples.len() as u64)),
+        ];
+        fields.extend(self.extra.iter().cloned());
+        Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+}
+
+/// Times `iter` (which performs `ops` operations per call): `warmup`
+/// unmeasured calls, then `samples` measured ones; returns ns/op per sample.
+fn time_samples<F: FnMut()>(warmup: usize, samples: usize, ops: u64, mut iter: F) -> Vec<f64> {
+    for _ in 0..warmup {
+        iter();
+    }
+    (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            iter();
+            t.elapsed().as_nanos() as f64 / ops as f64
+        })
+        .collect()
+}
+
+/// A 64 MB device with a 16 KB mapping-cache budget on top of the GTD —
+/// small enough to set up quickly, large enough for a real miss stream.
+fn micro_config() -> SsdConfig {
+    let mut config = SsdConfig::paper_default(64 << 20);
+    config.cache_bytes = config.gtd_bytes() + 16 * 1024;
+    config
+}
+
+fn build(kind: FtlKind, config: &SsdConfig) -> (Box<dyn Ftl + Send>, SsdEnv) {
+    let mut ftl = kind.build(config).expect("FTL builds");
+    let mut env = SsdEnv::new(config.clone()).expect("env builds");
+    driver::bootstrap(ftl.as_mut(), &mut env).expect("bootstrap");
+    (ftl, env)
+}
+
+/// Cache-hit translation path: one warmed entry translated repeatedly.
+pub fn bench_translate_hit(kind: FtlKind, warmup: usize, samples: usize, ops: u64) -> Record {
+    let config = micro_config();
+    let (mut ftl, mut env) = build(kind, &config);
+    driver::serve_page_access(ftl.as_mut(), &mut env, 42, AccessCtx::single(true))
+        .expect("warm write");
+    let ctx = AccessCtx::single(false);
+    let ns = time_samples(warmup, samples, ops, || {
+        for _ in 0..ops {
+            black_box(ftl.translate(&mut env, black_box(42), &ctx).expect("hit"));
+        }
+    });
+    let hit_ratio = env.stats.hits as f64 / env.stats.lookups as f64;
+    Record {
+        scenario: "translate_hit",
+        ftl: ftl.name(),
+        ops_per_iter: ops,
+        samples: ns,
+        extra: vec![("hit_ratio", Value::Float(hit_ratio))],
+    }
+}
+
+/// Miss-dominated scan: a large-stride cursor defeats the cache, so every
+/// translation pays lookup + eviction + translation-page load.
+pub fn bench_miss_scan(kind: FtlKind, warmup: usize, samples: usize, ops: u64) -> Record {
+    let config = micro_config();
+    let pages = config.logical_pages() as u32;
+    let (mut ftl, mut env) = build(kind, &config);
+    let ctx = AccessCtx::single(false);
+    let mut cursor: u32 = 0;
+    let ns = time_samples(warmup, samples, ops, || {
+        for _ in 0..ops {
+            black_box(
+                ftl.translate(&mut env, black_box(cursor), &ctx)
+                    .expect("translate"),
+            );
+            cursor = (cursor + 4099) % pages;
+        }
+    });
+    let hit_ratio = env.stats.hits as f64 / env.stats.lookups as f64;
+    Record {
+        scenario: "miss_scan",
+        ftl: ftl.name(),
+        ops_per_iter: ops,
+        samples: ns,
+        extra: vec![("hit_ratio", Value::Float(hit_ratio))],
+    }
+}
+
+/// Write path on a full device: updates dirty the cache and keep garbage
+/// collection (data + translation blocks) in the loop.
+pub fn bench_write_gc(kind: FtlKind, warmup: usize, samples: usize, ops: u64) -> Record {
+    let mut config = micro_config();
+    config.prefill_frac = 1.0;
+    let window = (config.logical_pages() / 8) as u32;
+    let (mut ftl, mut env) = build(kind, &config);
+    let ctx = AccessCtx::single(true);
+    let mut cursor: u32 = 0;
+    let ns = time_samples(warmup, samples, ops, || {
+        for _ in 0..ops {
+            driver::serve_page_access(ftl.as_mut(), &mut env, cursor, ctx).expect("write");
+            cursor = (cursor + 127) % window;
+        }
+    });
+    let hit_ratio = env.stats.hits as f64 / env.stats.lookups as f64;
+    Record {
+        scenario: "write_gc",
+        ftl: ftl.name(),
+        ops_per_iter: ops,
+        samples: ns,
+        extra: vec![("hit_ratio", Value::Float(hit_ratio))],
+    }
+}
+
+/// GC victim scan: iterate every block's valid pages on a device where
+/// half the pages are valid — the exact walk `gc::migrate_data_pages`
+/// performs when collecting a victim. Exercises `Flash::valid_pages`
+/// directly, independent of any FTL.
+pub fn bench_gc_valid_scan(warmup: usize, samples: usize) -> Record {
+    let geom = FlashGeometry {
+        page_bytes: 4096,
+        pages_per_block: 64,
+        num_blocks: 256,
+        read_us: 25.0,
+        write_us: 200.0,
+        erase_us: 1500.0,
+    };
+    let num_blocks = geom.num_blocks;
+    let total_pages = (geom.num_blocks * geom.pages_per_block) as u64;
+    let mut flash = Flash::new(geom).expect("flash builds");
+    // Program every page, then invalidate every other one so the scan
+    // filters a realistic mix instead of a trivially dense block.
+    for b in 0..num_blocks as u32 {
+        while let Some(ppn) = flash.next_free_ppn(b) {
+            flash
+                .program_page(ppn, ppn, OpPurpose::HostData)
+                .expect("program");
+            if ppn % 2 == 0 {
+                flash.invalidate(ppn).expect("invalidate");
+            }
+        }
+    }
+    let ns = time_samples(warmup, samples, total_pages, || {
+        let mut found = 0usize;
+        for b in 0..num_blocks as u32 {
+            found += flash.valid_pages(b).count();
+        }
+        black_box(found);
+    });
+    Record {
+        scenario: "gc_valid_scan",
+        ftl: "flash".to_string(),
+        ops_per_iter: total_pages,
+        samples: ns,
+        extra: Vec::new(),
+    }
+}
+
+/// Macro replay: the Financial1 synthetic trace end to end through the
+/// simulator (arrival timing, write handling, GC), fresh device per sample.
+pub fn bench_replay(kind: FtlKind, samples: usize, requests: usize) -> Record {
+    let workload = Workload::Financial1;
+    let config = device_config(workload);
+    let spec = workload.spec(requests);
+    let mut ns = Vec::new();
+    let mut last = None;
+    for _ in 0..samples {
+        let ftl = kind.build(&config).expect("FTL builds");
+        let mut ssd = Ssd::new(ftl, config.clone()).expect("ssd builds");
+        let t = Instant::now();
+        let report = ssd.run(spec.iter(SEED)).expect("replay");
+        ns.push(t.elapsed().as_nanos() as f64 / requests as f64);
+        last = Some(report);
+    }
+    let report = last.expect("at least one sample");
+    let median = {
+        let mut s = ns.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        s[s.len() / 2]
+    };
+    Record {
+        scenario: "replay_financial1",
+        ftl: kind.build(&config).expect("FTL builds").name(),
+        ops_per_iter: requests as u64,
+        samples: ns,
+        extra: vec![
+            ("requests_per_sec", Value::Float(1e9 / median)),
+            ("hit_ratio", Value::Float(report.hit_ratio())),
+            ("avg_response_us", Value::Float(report.avg_response_us)),
+            ("translation_reads", Value::UInt(report.translation_reads())),
+            (
+                "translation_writes",
+                Value::UInt(report.translation_writes()),
+            ),
+        ],
+    }
+}
+
+/// Runs the full scenario matrix; `quick` selects the CI smoke sizing.
+/// `filter` restricts the run to scenarios whose `scenario/ftl` id
+/// contains it — non-matching scenarios are skipped, not run-and-hidden,
+/// so a filtered invocation is proportionally fast (and profileable).
+pub fn run_all(quick: bool, filter: Option<&str>) -> Vec<Record> {
+    let (warmup, samples) = if quick { (1, 3) } else { (3, 9) };
+    let (hit_ops, miss_ops, write_ops) = if quick {
+        (1024, 128, 256)
+    } else {
+        (4096, 256, 512)
+    };
+    let replay_requests = if quick { 12_000 } else { 60_000 };
+
+    let wanted =
+        |scenario: &str, ftl: &str| filter.is_none_or(|f| format!("{scenario}/{ftl}").contains(f));
+    let mut records = Vec::new();
+    for kind in KINDS {
+        // Static labels (matching `Ftl::name`) so filtering does not have
+        // to build an FTL just to learn what it is called.
+        let name = match kind {
+            FtlKind::Tpftl => "TPFTL(rsbc)",
+            FtlKind::Dftl => "DFTL",
+            FtlKind::Sftl => "S-FTL",
+            FtlKind::Cdftl => "CDFTL",
+            _ => "?",
+        };
+        if wanted("translate_hit", name) {
+            records.push(bench_translate_hit(kind, warmup, samples, hit_ops));
+        }
+        if wanted("miss_scan", name) {
+            records.push(bench_miss_scan(kind, warmup, samples, miss_ops));
+        }
+        if wanted("write_gc", name) {
+            records.push(bench_write_gc(kind, warmup, samples, write_ops));
+        }
+        if wanted("replay_financial1", name) {
+            records.push(bench_replay(kind, samples.min(3), replay_requests));
+        }
+    }
+    if wanted("gc_valid_scan", "flash") {
+        records.push(bench_gc_valid_scan(warmup, samples));
+    }
+    records
+}

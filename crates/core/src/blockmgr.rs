@@ -5,6 +5,14 @@
 //! One active block per class absorbs programs; sealed blocks are indexed
 //! by valid-page count so the greedy garbage collector finds its victim
 //! ("the block with the fewest valid pages") in O(1).
+//!
+//! The valid-count index is allocation-free: each bucket is an intrusive
+//! doubly-linked list threaded through dense per-block `prev`/`next` arrays,
+//! and a bucket-occupancy bitmap locates the lowest non-empty bucket with a
+//! `trailing_zeros`. Victim *order* is nevertheless identical to the
+//! original per-bucket `BTreeSet` index (ascending block id within a
+//! bucket), which the golden fixed-seed fingerprints depend on: picks scan
+//! the — O(bucket) but allocation-free — list for the minimum id.
 
 use std::collections::{BTreeSet, VecDeque};
 
@@ -16,6 +24,9 @@ use crate::{FtlError, Result};
 /// Candidates examined per pick for the non-greedy policies — a bounded
 /// candidate set, as sampling-based GC schemes use on real devices.
 const CANDIDATE_CAP: usize = 64;
+
+/// Null link in the intrusive bucket lists.
+const NIL: u32 = u32::MAX;
 
 /// What a block is currently used for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,8 +65,17 @@ pub struct BlockManager {
     free: VecDeque<BlockId>,
     active_data: Option<BlockId>,
     active_trans: Option<BlockId>,
-    /// `buckets[v]` = sealed blocks with exactly `v` valid pages.
-    buckets: Vec<BTreeSet<BlockId>>,
+    /// Head of the intrusive list for bucket `v` = sealed blocks with
+    /// exactly `v` valid pages ([`NIL`] when empty).
+    bucket_head: Vec<u32>,
+    /// Intrusive list links, indexed by block id ([`NIL`]-terminated).
+    list_prev: Vec<u32>,
+    list_next: Vec<u32>,
+    /// One bit per bucket: set iff the bucket is non-empty, so the lowest
+    /// occupied bucket is a word scan plus `trailing_zeros`.
+    occupancy: Vec<u64>,
+    /// Blocks currently indexed in a bucket.
+    sealed_count: usize,
     pages_per_block: usize,
     /// Monotonic event counter; stamps seals for cost-benefit aging.
     seq: u64,
@@ -81,7 +101,11 @@ impl BlockManager {
             free: (0..num_blocks as BlockId).collect(),
             active_data: None,
             active_trans: None,
-            buckets: (0..=pages_per_block).map(|_| BTreeSet::new()).collect(),
+            bucket_head: vec![NIL; pages_per_block + 1],
+            list_prev: vec![NIL; num_blocks],
+            list_next: vec![NIL; num_blocks],
+            occupancy: vec![0; pages_per_block / 64 + 1],
+            sealed_count: 0,
             pages_per_block,
             seq: 0,
             seal_seq: vec![0; num_blocks],
@@ -122,13 +146,127 @@ impl BlockManager {
             } else {
                 BlockKind::SealedData
             };
-            mgr.buckets[valid].insert(b);
+            mgr.bucket_insert(b, valid);
             mgr.seq += 1;
             mgr.seal_seq[b as usize] = mgr.seq;
             mgr.sealed_valid[b as usize] = valid as u32;
             mgr.wear_index.insert((wear, b));
         }
         Ok(mgr)
+    }
+
+    // ---- Intrusive valid-count buckets --------------------------------------
+
+    /// Links `block` at the head of bucket `v`. O(1), no allocation.
+    fn bucket_insert(&mut self, block: BlockId, v: usize) {
+        let b = block as usize;
+        debug_assert!(self.list_prev[b] == NIL && self.list_next[b] == NIL);
+        let head = self.bucket_head[v];
+        self.list_next[b] = head;
+        if head != NIL {
+            self.list_prev[head as usize] = block;
+        }
+        self.bucket_head[v] = block;
+        self.occupancy[v / 64] |= 1 << (v % 64);
+        self.sealed_count += 1;
+    }
+
+    /// Unlinks `block` from bucket `v`. O(1), no allocation.
+    fn bucket_remove(&mut self, block: BlockId, v: usize) {
+        let b = block as usize;
+        let (prev, next) = (self.list_prev[b], self.list_next[b]);
+        if prev != NIL {
+            self.list_next[prev as usize] = next;
+        } else {
+            debug_assert_eq!(self.bucket_head[v], block, "block missing from its bucket");
+            self.bucket_head[v] = next;
+        }
+        if next != NIL {
+            self.list_prev[next as usize] = prev;
+        }
+        self.list_prev[b] = NIL;
+        self.list_next[b] = NIL;
+        if self.bucket_head[v] == NIL {
+            self.occupancy[v / 64] &= !(1 << (v % 64));
+        }
+        self.sealed_count -= 1;
+    }
+
+    /// Lowest non-empty bucket with fewer than `limit` valid pages.
+    fn min_occupied_bucket(&self, limit: usize) -> Option<usize> {
+        for (w, &bits) in self.occupancy.iter().enumerate() {
+            let base = w * 64;
+            if base >= limit {
+                break;
+            }
+            let mut bits = bits;
+            if limit - base < 64 {
+                bits &= (1u64 << (limit - base)) - 1;
+            }
+            if bits != 0 {
+                return Some(base + bits.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Smallest block id in bucket `v` (the `BTreeSet` index returned ids
+    /// in ascending order; picks preserve that for replay determinism).
+    fn min_block_in_bucket(&self, v: usize) -> Option<BlockId> {
+        let mut min = NIL;
+        let mut cur = self.bucket_head[v];
+        while cur != NIL {
+            min = min.min(cur);
+            cur = self.list_next[cur as usize];
+        }
+        (min != NIL).then_some(min)
+    }
+
+    /// Appends bucket `v`'s smallest ids, ascending, to `out[start..]`,
+    /// capping the total at [`CANDIDATE_CAP`]; returns the new length.
+    fn append_bucket_sorted(&self, v: usize, out: &mut [BlockId], start: usize) -> usize {
+        let mut len = start;
+        let mut cur = self.bucket_head[v];
+        while cur != NIL {
+            let pos = start + out[start..len].partition_point(|&x| x < cur);
+            if len < CANDIDATE_CAP {
+                out.copy_within(pos..len, pos + 1);
+                out[pos] = cur;
+                len += 1;
+            } else if pos < CANDIDATE_CAP {
+                out.copy_within(pos..CANDIDATE_CAP - 1, pos + 1);
+                out[pos] = cur;
+            }
+            cur = self.list_next[cur as usize];
+        }
+        len
+    }
+
+    /// Fills `out` with up to [`CANDIDATE_CAP`] reclaimable blocks in
+    /// (valid count asc, block id asc) order — exactly the first
+    /// `CANDIDATE_CAP` entries the per-bucket `BTreeSet` index would have
+    /// yielded — and returns how many were written. No allocation.
+    fn collect_candidates(&self, out: &mut [BlockId; CANDIDATE_CAP]) -> usize {
+        let mut n = 0;
+        for (w, &word) in self.occupancy.iter().enumerate() {
+            let base = w * 64;
+            if base >= self.pages_per_block {
+                break;
+            }
+            let mut bits = word;
+            if self.pages_per_block - base < 64 {
+                bits &= (1u64 << (self.pages_per_block - base)) - 1;
+            }
+            while bits != 0 {
+                let v = base + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                n = self.append_bucket_sorted(v, out, n);
+                if n == CANDIDATE_CAP {
+                    return n;
+                }
+            }
+        }
+        n
     }
 
     /// Number of blocks in the free pool.
@@ -149,33 +287,35 @@ impl BlockManager {
     pub fn alloc_page(&mut self, class: AllocClass, flash: &Flash) -> Result<Ppn> {
         let (active, active_kind, sealed_kind) = match class {
             AllocClass::Data => (
-                &mut self.active_data,
+                self.active_data,
                 BlockKind::ActiveData,
                 BlockKind::SealedData,
             ),
             AllocClass::Translation => (
-                &mut self.active_trans,
+                self.active_trans,
                 BlockKind::ActiveTranslation,
                 BlockKind::SealedTranslation,
             ),
         };
-        if let Some(b) = *active {
+        if let Some(b) = active {
             if let Some(ppn) = flash.next_free_ppn(b) {
                 return Ok(ppn);
             }
             // Seal the exhausted block and index it for the collector.
             self.kind[b as usize] = sealed_kind;
             let valid = flash.valid_pages_in(b).map_err(FtlError::Flash)?;
-            self.buckets[valid].insert(b);
+            self.bucket_insert(b, valid);
             self.seq += 1;
             self.seal_seq[b as usize] = self.seq;
             self.sealed_valid[b as usize] = valid as u32;
             self.wear_index.insert((self.wear[b as usize], b));
-            *active = None;
         }
         let b = self.free.pop_front().ok_or(FtlError::DeviceFull)?;
         self.kind[b as usize] = active_kind;
-        *active = Some(b);
+        match class {
+            AllocClass::Data => self.active_data = Some(b),
+            AllocClass::Translation => self.active_trans = Some(b),
+        }
         flash.next_free_ppn(b).ok_or(FtlError::DeviceFull) // A free-pool block is always erased.
     }
 
@@ -186,9 +326,8 @@ impl BlockManager {
             BlockKind::SealedData | BlockKind::SealedTranslation => {
                 // The page was valid before, so the block was in bucket
                 // `new_valid + 1`.
-                let was = self.buckets[new_valid + 1].remove(&block);
-                debug_assert!(was, "sealed block missing from its bucket");
-                self.buckets[new_valid].insert(block);
+                self.bucket_remove(block, new_valid + 1);
+                self.bucket_insert(block, new_valid);
                 self.sealed_valid[block as usize] = new_valid as u32;
             }
             // Active blocks are indexed when sealed; free blocks have no
@@ -210,7 +349,7 @@ impl BlockManager {
     }
 
     fn claim(&mut self, b: BlockId) -> Option<(BlockId, AllocClass)> {
-        self.buckets[self.sealed_valid[b as usize] as usize].remove(&b);
+        self.bucket_remove(b, self.sealed_valid[b as usize] as usize);
         self.wear_index.remove(&(self.wear[b as usize], b));
         let class = match self.kind[b as usize] {
             BlockKind::SealedData => AllocClass::Data,
@@ -222,23 +361,16 @@ impl BlockManager {
     }
 
     fn pick_greedy(&self) -> Option<BlockId> {
-        self.buckets[..self.pages_per_block]
-            .iter()
-            .find_map(|bucket| bucket.iter().next().copied())
-    }
-
-    /// Up to [`CANDIDATE_CAP`] reclaimable blocks, least-valid first.
-    fn candidates(&self) -> impl Iterator<Item = BlockId> + '_ {
-        self.buckets[..self.pages_per_block]
-            .iter()
-            .flat_map(|bucket| bucket.iter().copied())
-            .take(CANDIDATE_CAP)
+        let v = self.min_occupied_bucket(self.pages_per_block)?;
+        self.min_block_in_bucket(v)
     }
 
     fn pick_cost_benefit(&self) -> Option<BlockId> {
+        let mut cand = [0 as BlockId; CANDIDATE_CAP];
+        let n = self.collect_candidates(&mut cand);
         let np = self.pages_per_block as f64;
         let mut best: Option<(f64, BlockId)> = None;
-        for b in self.candidates() {
+        for &b in &cand[..n] {
             let valid = self.sealed_valid[b as usize] as f64;
             if valid == 0.0 {
                 return Some(b); // free reclaim, nothing can beat it
@@ -270,7 +402,11 @@ impl BlockManager {
             }
         }
         // Dynamic: among the least-valid candidates, prefer the least worn.
-        self.candidates()
+        let mut cand = [0 as BlockId; CANDIDATE_CAP];
+        let n = self.collect_candidates(&mut cand);
+        cand[..n]
+            .iter()
+            .copied()
             .min_by_key(|&b| (self.sealed_valid[b as usize], self.wear[b as usize], b))
     }
 
@@ -293,14 +429,14 @@ impl BlockManager {
     /// replacement (test hook for constructing precise sealed states).
     #[cfg(test)]
     pub(crate) fn seal_active(&mut self, flash: &Flash, class: AllocClass) {
-        let (active, sealed_kind) = match class {
-            AllocClass::Data => (&mut self.active_data, BlockKind::SealedData),
-            AllocClass::Translation => (&mut self.active_trans, BlockKind::SealedTranslation),
+        let (taken, sealed_kind) = match class {
+            AllocClass::Data => (self.active_data.take(), BlockKind::SealedData),
+            AllocClass::Translation => (self.active_trans.take(), BlockKind::SealedTranslation),
         };
-        let b = active.take().expect("an active block to seal");
+        let b = taken.expect("an active block to seal");
         self.kind[b as usize] = sealed_kind;
         let valid = flash.valid_pages_in(b).expect("block in range");
-        self.buckets[valid].insert(b);
+        self.bucket_insert(b, valid);
         self.seq += 1;
         self.seal_seq[b as usize] = self.seq;
         self.sealed_valid[b as usize] = valid as u32;
@@ -310,7 +446,7 @@ impl BlockManager {
     /// Number of sealed blocks currently indexed for collection.
     #[cfg_attr(not(test), expect(dead_code))]
     pub fn sealed_blocks(&self) -> usize {
-        self.buckets.iter().map(BTreeSet::len).sum()
+        self.sealed_count
     }
 
     /// Claims a whole free block for direct management by a block-mapping
@@ -602,6 +738,202 @@ mod tests {
             .pick_victim(GcPolicy::WearAware { max_wear_delta: 1 })
             .unwrap();
         assert_eq!(victim, 0);
+    }
+
+    /// The original per-bucket `BTreeSet` victim index, kept verbatim as an
+    /// oracle: the intrusive-list rewrite must produce the *identical*
+    /// victim sequence for every policy, or fixed-seed replays diverge.
+    struct BucketOracle {
+        buckets: Vec<BTreeSet<BlockId>>,
+        pages_per_block: usize,
+        seq: u64,
+        seal_seq: Vec<u64>,
+        sealed_valid: Vec<u32>,
+        wear: Vec<u32>,
+        wear_index: BTreeSet<(u32, BlockId)>,
+        max_wear: u32,
+        picks_since_static: u32,
+    }
+
+    impl BucketOracle {
+        fn new(num_blocks: usize, pages_per_block: usize) -> Self {
+            Self {
+                buckets: (0..=pages_per_block).map(|_| BTreeSet::new()).collect(),
+                pages_per_block,
+                seq: 0,
+                seal_seq: vec![0; num_blocks],
+                sealed_valid: vec![0; num_blocks],
+                wear: vec![0; num_blocks],
+                wear_index: BTreeSet::new(),
+                max_wear: 0,
+                picks_since_static: 0,
+            }
+        }
+
+        fn on_seal(&mut self, b: BlockId, valid: usize) {
+            self.buckets[valid].insert(b);
+            self.seq += 1;
+            self.seal_seq[b as usize] = self.seq;
+            self.sealed_valid[b as usize] = valid as u32;
+            self.wear_index.insert((self.wear[b as usize], b));
+        }
+
+        fn on_invalidated(&mut self, b: BlockId, new_valid: usize) {
+            assert!(self.buckets[new_valid + 1].remove(&b));
+            self.buckets[new_valid].insert(b);
+            self.sealed_valid[b as usize] = new_valid as u32;
+        }
+
+        fn on_claim(&mut self, b: BlockId) {
+            self.buckets[self.sealed_valid[b as usize] as usize].remove(&b);
+            self.wear_index.remove(&(self.wear[b as usize], b));
+        }
+
+        fn on_erased(&mut self, b: BlockId) {
+            let w = &mut self.wear[b as usize];
+            *w += 1;
+            self.max_wear = self.max_wear.max(*w);
+        }
+
+        fn pick(&mut self, policy: GcPolicy) -> Option<BlockId> {
+            match policy {
+                GcPolicy::Greedy => self.pick_greedy(),
+                GcPolicy::CostBenefit => self.pick_cost_benefit(),
+                GcPolicy::WearAware { max_wear_delta } => self.pick_wear_aware(max_wear_delta),
+            }
+        }
+
+        fn pick_greedy(&self) -> Option<BlockId> {
+            self.buckets[..self.pages_per_block]
+                .iter()
+                .find_map(|bucket| bucket.iter().next().copied())
+        }
+
+        fn candidates(&self) -> impl Iterator<Item = BlockId> + '_ {
+            self.buckets[..self.pages_per_block]
+                .iter()
+                .flat_map(|bucket| bucket.iter().copied())
+                .take(CANDIDATE_CAP)
+        }
+
+        fn pick_cost_benefit(&self) -> Option<BlockId> {
+            let np = self.pages_per_block as f64;
+            let mut best: Option<(f64, BlockId)> = None;
+            for b in self.candidates() {
+                let valid = self.sealed_valid[b as usize] as f64;
+                if valid == 0.0 {
+                    return Some(b);
+                }
+                let u = valid / np;
+                let age = (self.seq - self.seal_seq[b as usize]) as f64 + 1.0;
+                let score = (1.0 - u) / (2.0 * u) * age;
+                if best.is_none_or(|(s, _)| score > s) {
+                    best = Some((score, b));
+                }
+            }
+            best.map(|(_, b)| b)
+        }
+
+        fn pick_wear_aware(&mut self, max_wear_delta: u64) -> Option<BlockId> {
+            self.picks_since_static += 1;
+            if self.picks_since_static >= 8 {
+                if let Some(&(wear, b)) = self.wear_index.iter().next() {
+                    if (self.max_wear as u64).saturating_sub(wear as u64) > max_wear_delta {
+                        self.picks_since_static = 0;
+                        return Some(b);
+                    }
+                }
+            }
+            self.candidates()
+                .min_by_key(|&b| (self.sealed_valid[b as usize], self.wear[b as usize], b))
+        }
+    }
+
+    /// Seeded seal/invalidate/pick/erase fuzz: the intrusive bucket lists
+    /// must yield the same victim sequence as the `BTreeSet` oracle for
+    /// greedy, cost-benefit, and wear-aware policies.
+    #[test]
+    fn victim_sequence_matches_btreeset_oracle() {
+        use tpftl_rng::Rng64;
+
+        const N_BLOCKS: usize = 12;
+        const PPB: usize = 4;
+        let policies = [
+            GcPolicy::Greedy,
+            GcPolicy::CostBenefit,
+            GcPolicy::WearAware { max_wear_delta: 1 },
+            GcPolicy::WearAware {
+                max_wear_delta: 100,
+            },
+        ];
+        for (pi, &policy) in policies.iter().enumerate() {
+            for seed in 0..48u64 {
+                let mut rng = Rng64::seed_from_u64(0xB10C + seed * 7 + pi as u64);
+                let mut flash = Flash::new(FlashGeometry {
+                    page_bytes: 4096,
+                    pages_per_block: PPB,
+                    num_blocks: N_BLOCKS,
+                    read_us: 25.0,
+                    write_us: 200.0,
+                    erase_us: 1500.0,
+                })
+                .unwrap();
+                let mut mgr = BlockManager::new(N_BLOCKS, PPB);
+                let mut oracle = BucketOracle::new(N_BLOCKS, PPB);
+                let mut sealed: Vec<BlockId> = Vec::new();
+
+                for _ in 0..400 {
+                    match rng.range_u32(0, 4) {
+                        // Seal a fresh block with a random valid count.
+                        0 | 1 => {
+                            if mgr.free_blocks() == 0 {
+                                continue;
+                            }
+                            let valid = rng.range_usize(0, PPB + 1);
+                            let b = seal_with(&mut mgr, &mut flash, valid);
+                            oracle.on_seal(b, valid);
+                            sealed.push(b);
+                        }
+                        // Invalidate one valid page of a random sealed block.
+                        2 => {
+                            if sealed.is_empty() {
+                                continue;
+                            }
+                            let b = sealed[rng.range_usize(0, sealed.len())];
+                            let pages: Vec<_> = flash.valid_pages(b).collect();
+                            if pages.is_empty() {
+                                continue;
+                            }
+                            let (ppn, _) = pages[rng.range_usize(0, pages.len())];
+                            flash.invalidate(ppn).unwrap();
+                            let now_valid = flash.valid_pages_in(b).unwrap();
+                            mgr.on_invalidated(b, now_valid);
+                            oracle.on_invalidated(b, now_valid);
+                        }
+                        // Pick a victim; sequences must agree exactly.
+                        _ => {
+                            let expect = oracle.pick(policy);
+                            let got = mgr.pick_victim(policy);
+                            assert_eq!(
+                                got.map(|(b, _)| b),
+                                expect,
+                                "victim mismatch, policy {policy:?}, seed {seed}"
+                            );
+                            let Some((b, _)) = got else { continue };
+                            oracle.on_claim(b);
+                            sealed.retain(|&s| s != b);
+                            for (ppn, _) in flash.valid_pages(b).collect::<Vec<_>>() {
+                                flash.invalidate(ppn).unwrap();
+                            }
+                            flash.erase_block(b, OpPurpose::GcData).unwrap();
+                            mgr.on_erased(b);
+                            oracle.on_erased(b);
+                        }
+                    }
+                    assert_eq!(mgr.sealed_blocks(), sealed.len(), "seed {seed}");
+                }
+            }
+        }
     }
 
     #[test]

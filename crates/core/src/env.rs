@@ -66,6 +66,19 @@ pub struct SsdEnv {
     /// paying two hardware divisions per lookup.
     tp_shift: u32,
     tp_mask: u32,
+    /// Immutable all-`PPN_NONE` page, returned by reference for
+    /// translation pages that have never been written (possible only
+    /// before [`SsdEnv::format`]), so that path allocates nothing either.
+    unmapped_tp: Box<[Ppn]>,
+    /// Scratch page for building translation payloads on the cold paths
+    /// (first write of a page, format, prefill). Owned here, borrowed via
+    /// `mem::take`, and put back — never reallocated in steady state.
+    tp_scratch: Vec<Ppn>,
+    /// Scratch for GC victim-page collection; owned here, used by
+    /// [`crate::gc`] through `mem::take` so a GC pass allocates nothing.
+    pub(crate) gc_page_scratch: Vec<(Ppn, u32)>,
+    /// Scratch for the (LPN, new PPN) pairs a data-block collection moves.
+    pub(crate) gc_moved_scratch: Vec<(Lpn, Ppn)>,
 }
 
 impl SsdEnv {
@@ -84,6 +97,10 @@ impl SsdEnv {
             entries_per_tp,
             tp_shift: entries_per_tp.trailing_zeros(),
             tp_mask: (entries_per_tp - 1) as u32,
+            unmapped_tp: vec![PPN_NONE; entries_per_tp].into_boxed_slice(),
+            tp_scratch: Vec::new(),
+            gc_page_scratch: Vec::new(),
+            gc_moved_scratch: Vec::new(),
             config,
             flash,
             blocks,
@@ -235,30 +252,86 @@ impl SsdEnv {
         Ok(())
     }
 
+    /// Like [`SsdEnv::read_translation_entries`] but returning the payload
+    /// by reference straight out of the flash model's slab — the zero-copy
+    /// miss path. Never-written pages borrow the environment's persistent
+    /// all-unmapped page.
+    pub fn read_translation_entries_ref(
+        &mut self,
+        vtpn: Vtpn,
+        purpose: OpPurpose,
+    ) -> Result<&[Ppn]> {
+        match self.gtd.get(vtpn) {
+            Some(ppn) => Ok(self.flash.read_translation_payload(ppn, purpose)?),
+            None => Ok(&self.unmapped_tp),
+        }
+    }
+
+    /// Reads a single mapping entry of translation page `vtpn`, accounting
+    /// one page read — the selective-caching miss path (DFTL loads one
+    /// entry per miss), with neither a page copy nor an allocation.
+    ///
+    /// Kept out of line: inlining this into `translate` bloats the caller
+    /// and measurably slows the cache-*hit* arm it shares a function with.
+    #[inline(never)]
+    pub fn read_translation_entry(
+        &mut self,
+        vtpn: Vtpn,
+        offset: u16,
+        purpose: OpPurpose,
+    ) -> Result<Ppn> {
+        match self.gtd.get(vtpn) {
+            Some(ppn) => Ok(self.flash.read_translation_payload(ppn, purpose)?[offset as usize]),
+            None => Ok(PPN_NONE),
+        }
+    }
+
     /// Partial translation-page update: read-modify-write, costing
     /// `T_fr + T_fw` (plus the first-write case with no prior page). This
     /// is the writeback path of DFTL/TPFTL dirty entries and of GC misses.
+    ///
+    /// The payload never surfaces: the flash model copies it slab-slot to
+    /// slab-slot with `updates` patched in, so the steady-state writeback
+    /// performs exactly one page-sized copy and no allocation.
     pub fn update_translation_page(
         &mut self,
         vtpn: Vtpn,
         updates: &[(u16, Ppn)],
         purpose: OpPurpose,
     ) -> Result<()> {
-        let old = self.gtd.get(vtpn);
-        let mut payload = match old {
-            Some(old) => self.flash.read_translation_payload(old, purpose)?.to_vec(),
-            None => vec![PPN_NONE; self.entries_per_tp],
-        };
-        for &(off, ppn) in updates {
-            payload[off as usize] = ppn;
-        }
-        // Program the replacement before invalidating the old copy, so a
-        // power loss between the two steps never leaves the table without a
-        // valid copy of this translation page (crash recovery then picks the
-        // newer copy by program-sequence stamp).
-        self.program_translation(vtpn, payload.into_boxed_slice(), purpose)?;
-        if let Some(old) = old {
-            self.invalidate_page(old)?;
+        match self.gtd.get(vtpn) {
+            Some(old) => {
+                // Accounts the `T_fr` read half and validates the source.
+                let info = self.flash.read_page(old, purpose)?;
+                if !info.is_translation {
+                    return Err(FtlError::Flash(
+                        tpftl_flash::FlashError::NotATranslationPage(old),
+                    ));
+                }
+                // Program the replacement before invalidating the old copy,
+                // so a power loss between the two steps never leaves the
+                // table without a valid copy of this translation page (crash
+                // recovery then picks the newer copy by program-sequence
+                // stamp).
+                let new_ppn = self
+                    .blocks
+                    .alloc_page(AllocClass::Translation, &self.flash)?;
+                self.flash
+                    .program_translation_page_from(new_ppn, vtpn, old, updates, purpose)?;
+                self.gtd.set(vtpn, new_ppn);
+                self.invalidate_page(old)?;
+            }
+            None => {
+                let mut payload = std::mem::take(&mut self.tp_scratch);
+                payload.clear();
+                payload.resize(self.entries_per_tp, PPN_NONE);
+                for &(off, ppn) in updates {
+                    payload[off as usize] = ppn;
+                }
+                let res = self.program_translation(vtpn, &payload, purpose);
+                self.tp_scratch = payload;
+                res?;
+            }
         }
         Ok(())
     }
@@ -269,12 +342,12 @@ impl SsdEnv {
     pub fn write_translation_page_full(
         &mut self,
         vtpn: Vtpn,
-        payload: Vec<Ppn>,
+        payload: &[Ppn],
         purpose: OpPurpose,
     ) -> Result<()> {
         let old = self.gtd.get(vtpn);
         // Program-before-invalidate, as in `update_translation_page`.
-        self.program_translation(vtpn, payload.into_boxed_slice(), purpose)?;
+        self.program_translation(vtpn, payload, purpose)?;
         if let Some(old) = old {
             self.invalidate_page(old)?;
         }
@@ -284,7 +357,7 @@ impl SsdEnv {
     fn program_translation(
         &mut self,
         vtpn: Vtpn,
-        payload: Box<[Ppn]>,
+        payload: &[Ppn],
         purpose: OpPurpose,
     ) -> Result<()> {
         let ppn = self
@@ -312,6 +385,10 @@ impl SsdEnv {
             entries_per_tp,
             tp_shift: entries_per_tp.trailing_zeros(),
             tp_mask: (entries_per_tp - 1) as u32,
+            unmapped_tp: vec![PPN_NONE; entries_per_tp].into_boxed_slice(),
+            tp_scratch: Vec::new(),
+            gc_page_scratch: Vec::new(),
+            gc_moved_scratch: Vec::new(),
             config,
             flash,
             blocks,
@@ -344,9 +421,17 @@ impl SsdEnv {
     /// mapping table fully exists on flash before the measured run, as in a
     /// formatted device.
     pub fn format(&mut self) -> Result<()> {
+        let mut payload = std::mem::take(&mut self.tp_scratch);
+        payload.clear();
+        payload.resize(self.entries_per_tp, PPN_NONE);
+        let res = self.format_missing(&payload);
+        self.tp_scratch = payload;
+        res
+    }
+
+    fn format_missing(&mut self, payload: &[Ppn]) -> Result<()> {
         for vtpn in 0..self.gtd.len() as Vtpn {
             if self.gtd.get(vtpn).is_none() {
-                let payload = vec![PPN_NONE; self.entries_per_tp];
                 self.write_translation_page_full(vtpn, payload, OpPurpose::Translation)?;
             }
         }
@@ -360,10 +445,18 @@ impl SsdEnv {
     pub fn prefill(&mut self, frac: f64) -> Result<()> {
         assert!((0.0..=1.0).contains(&frac), "prefill fraction out of range");
         let pages = (self.config.logical_pages() as f64 * frac) as u64;
+        let mut payload = std::mem::take(&mut self.tp_scratch);
+        let res = self.prefill_chunks(pages, &mut payload);
+        self.tp_scratch = payload;
+        res
+    }
+
+    fn prefill_chunks(&mut self, pages: u64, payload: &mut Vec<Ppn>) -> Result<()> {
         let mut lpn: Lpn = 0;
         while (lpn as u64) < pages {
             let vtpn = self.vtpn_of(lpn);
-            let mut payload = vec![PPN_NONE; self.entries_per_tp];
+            payload.clear();
+            payload.resize(self.entries_per_tp, PPN_NONE);
             let chunk_end = (((vtpn as u64) + 1) * self.entries_per_tp as u64).min(pages) as Lpn;
             while lpn < chunk_end {
                 let ppn = self.program_data_page(lpn, OpPurpose::HostData)?;
@@ -437,7 +530,7 @@ mod tests {
         env.reset_stats();
         let mut payload = vec![PPN_NONE; env.entries_per_tp()];
         payload[0] = 77;
-        env.write_translation_page_full(0, payload, OpPurpose::Translation)
+        env.write_translation_page_full(0, &payload, OpPurpose::Translation)
             .unwrap();
         assert_eq!(env.flash().stats().translation_reads(), 0);
         assert_eq!(env.flash().stats().translation_writes(), 1);

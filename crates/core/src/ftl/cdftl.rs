@@ -93,7 +93,7 @@ impl Cdftl {
         self.ctp_lru.remove(page.lru);
         env.note_replacement(page.dirty);
         if page.dirty {
-            env.write_translation_page_full(vtpn, page.entries, OpPurpose::Translation)?;
+            env.write_translation_page_full(vtpn, &page.entries, OpPurpose::Translation)?;
         }
         Ok(())
     }

@@ -152,8 +152,9 @@ impl Ftl for Dftl {
         }
         env.note_lookup(false);
         let vtpn = env.vtpn_of(lpn);
-        let entries = env.read_translation_entries(vtpn, OpPurpose::Translation)?;
-        let ppn = entries[env.offset_of(lpn) as usize];
+        // Selective caching: one entry is loaded per miss, so read just
+        // that entry out of the slab — no page copy, no allocation.
+        let ppn = env.read_translation_entry(vtpn, env.offset_of(lpn), OpPurpose::Translation)?;
         self.insert(
             env,
             CmtEntry {

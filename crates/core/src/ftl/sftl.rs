@@ -223,7 +223,7 @@ impl Sftl {
             }
         } else {
             env.note_replacement(true);
-            env.write_translation_page_full(vtpn, page.entries, OpPurpose::Translation)?;
+            env.write_translation_page_full(vtpn, &page.entries, OpPurpose::Translation)?;
         }
         Ok(())
     }

@@ -222,12 +222,12 @@ pub struct TpFtl {
     /// Recycled `by_offset` tables of dismantled nodes (all-NONE), so node
     /// churn stops allocating once the pool covers the working set.
     table_pool: Vec<Box<[LruIdx]>>,
-    /// Reusable buffers for the request path (batch writebacks, GC misses,
-    /// translation-page payloads): taken, filled, returned — never
-    /// reallocated once grown.
+    /// Reusable buffers for the request path (batch writebacks, GC
+    /// misses): taken, filled, returned — never reallocated once grown.
+    /// Miss-path payloads are borrowed from the flash slab and need no
+    /// buffer at all.
     scratch_updates: Vec<(u16, Ppn)>,
     scratch_misses: Vec<(Lpn, Ppn)>,
-    scratch_payload: Vec<Ppn>,
 }
 
 impl TpFtl {
@@ -255,7 +255,6 @@ impl TpFtl {
             table_pool: Vec::new(),
             scratch_updates: Vec::new(),
             scratch_misses: Vec::new(),
-            scratch_payload: Vec::new(),
         })
     }
 
@@ -634,14 +633,9 @@ impl Ftl for TpFtl {
 
         // One translation-page read serves the requested entry and every
         // prefetched successor (they share the page by rule 1). The payload
-        // lands in a reusable scratch buffer: steady-state misses allocate
-        // nothing.
-        let mut payload = std::mem::take(&mut self.scratch_payload);
-        let read = env.read_translation_entries_into(vtpn, &mut payload, OpPurpose::Translation);
-        if let Err(e) = read {
-            self.scratch_payload = payload;
-            return Err(e);
-        }
+        // is borrowed straight out of the flash model's slab — the miss
+        // path copies single entries into the cache, never a whole page.
+        let payload = env.read_translation_entries_ref(vtpn, OpPurpose::Translation)?;
         let requested_ppn = payload[offset as usize];
         for i in 0..=granted as u16 {
             let off = offset + i;
@@ -649,7 +643,6 @@ impl Ftl for TpFtl {
                 self.insert_entry(vtpn, off, payload[off as usize]);
             }
         }
-        self.scratch_payload = payload;
         Ok((requested_ppn != PPN_NONE).then_some(requested_ppn))
     }
 

@@ -45,12 +45,30 @@ fn collect_data_block<F: Ftl + ?Sized>(
     env: &mut SsdEnv,
     victim: tpftl_flash::BlockId,
 ) -> Result<()> {
-    let valid: Vec<(Ppn, Lpn)> = env.flash.valid_pages(victim).collect();
+    // Victim scans reuse the environment's scratch buffers (taken here, put
+    // back below), so a steady-state GC pass performs no heap allocation.
+    let mut valid = std::mem::take(&mut env.gc_page_scratch);
+    let mut moved = std::mem::take(&mut env.gc_moved_scratch);
+    let res = migrate_data_pages(ftl, env, victim, &mut valid, &mut moved);
+    env.gc_page_scratch = valid;
+    env.gc_moved_scratch = moved;
+    res
+}
+
+fn migrate_data_pages<F: Ftl + ?Sized>(
+    ftl: &mut F,
+    env: &mut SsdEnv,
+    victim: tpftl_flash::BlockId,
+    valid: &mut Vec<(Ppn, Lpn)>,
+    moved: &mut Vec<(Lpn, Ppn)>,
+) -> Result<()> {
+    valid.clear();
+    valid.extend(env.flash.valid_pages(victim));
     env.gc_stats.data_victims += 1;
     env.gc_stats.data_pages_migrated += valid.len() as u64;
 
-    let mut moved = Vec::with_capacity(valid.len());
-    for (old_ppn, lpn) in valid {
+    moved.clear();
+    for &(old_ppn, lpn) in valid.iter() {
         env.flash.read_page(old_ppn, OpPurpose::GcData)?;
         let new_ppn = env.program_data_page(lpn, OpPurpose::GcData)?;
         env.invalidate_page(old_ppn)?;
@@ -59,7 +77,7 @@ fn collect_data_block<F: Ftl + ?Sized>(
 
     // Mapping updates: cache hits are absorbed (and deferred as dirty
     // entries); misses are written back to translation pages by the FTL.
-    let hits = ftl.on_gc_data_block(env, &moved)?;
+    let hits = ftl.on_gc_data_block(env, moved)?;
     env.stats.gc_updates += moved.len() as u64;
     env.stats.gc_hits += hits;
 
@@ -69,23 +87,36 @@ fn collect_data_block<F: Ftl + ?Sized>(
 }
 
 fn collect_translation_block(env: &mut SsdEnv, victim: tpftl_flash::BlockId) -> Result<()> {
-    let valid: Vec<(Ppn, Vtpn)> = env.flash.valid_pages(victim).collect();
+    let mut valid = std::mem::take(&mut env.gc_page_scratch);
+    let res = migrate_translation_pages(env, victim, &mut valid);
+    env.gc_page_scratch = valid;
+    res
+}
+
+fn migrate_translation_pages(
+    env: &mut SsdEnv,
+    victim: tpftl_flash::BlockId,
+    valid: &mut Vec<(Ppn, Vtpn)>,
+) -> Result<()> {
+    valid.clear();
+    valid.extend(env.flash.valid_pages(victim));
     env.gc_stats.trans_victims += 1;
     env.gc_stats.trans_pages_migrated += valid.len() as u64;
 
-    for (old_ppn, vtpn) in valid {
-        let payload = env
-            .flash
-            .read_translation_payload(old_ppn, OpPurpose::GcTranslation)?
-            .to_vec();
+    for &(old_ppn, vtpn) in valid.iter() {
+        // Accounts the migration read and validates the source page.
+        env.flash.read_page(old_ppn, OpPurpose::GcTranslation)?;
         // Program the copy before invalidating the original (as the
-        // data-page path below does), so a power loss mid-migration never
+        // data-page path above does), so a power loss mid-migration never
         // leaves the table without a valid copy of this translation page.
+        // The payload moves slab-slot to slab-slot inside the flash model —
+        // one page-sized copy, no allocation.
         let new_ppn = env.blocks.alloc_page(AllocClass::Translation, &env.flash)?;
-        env.flash.program_translation_page(
+        env.flash.program_translation_page_from(
             new_ppn,
             vtpn,
-            payload.into_boxed_slice(),
+            old_ppn,
+            &[],
             OpPurpose::GcTranslation,
         )?;
         env.gtd.set(vtpn, new_ppn);

@@ -1,7 +1,6 @@
 //! The flash device model proper.
 
-use std::collections::HashMap;
-
+use crate::tpslab::TpSlab;
 use crate::{
     BlockId, FaultPlan, FaultRecord, FlashError, FlashGeometry, FlashStats, OpKind, OpPurpose, Ppn,
     Result,
@@ -61,7 +60,9 @@ pub struct Flash {
     write_ptr: Vec<u32>,
     valid_count: Vec<u32>,
     erase_count: Vec<u32>,
-    tp_payload: HashMap<Ppn, Box<[Ppn]>>,
+    /// Slab-backed translation-payload store: payloads for valid
+    /// translation pages, addressed by PPN through a dense slot index.
+    tp: TpSlab,
     /// Out-of-band program sequence stamp per page (0 = never programmed
     /// since the last erase). Monotonic across the device's life, so crash
     /// recovery can order two valid copies of the same logical page.
@@ -81,14 +82,15 @@ impl Flash {
         geom.validate()?;
         let pages = geom.total_pages();
         let blocks = geom.num_blocks;
+        let entries_per_tp = geom.page_bytes / 4;
         Ok(Self {
-            entries_per_tp: geom.page_bytes / 4,
+            entries_per_tp,
             state: vec![PageState::Free; pages],
             tag: vec![0; pages],
             write_ptr: vec![0; blocks],
             valid_count: vec![0; blocks],
             erase_count: vec![0; blocks],
-            tp_payload: HashMap::new(),
+            tp: TpSlab::new(pages, entries_per_tp),
             seq: vec![0; pages],
             next_seq: 1,
             faults: None,
@@ -256,7 +258,7 @@ impl Flash {
                 self.stats.record(OpKind::Read, purpose, self.geom.read_us);
                 Ok(PageInfo {
                     tag: self.tag[ppn as usize],
-                    is_translation: self.tp_payload.contains_key(&ppn),
+                    is_translation: self.tp.contains(ppn),
                 })
             }
             PageState::Free => Err(FlashError::ReadFree(ppn)),
@@ -273,7 +275,7 @@ impl Flash {
             return Err(FlashError::NotATranslationPage(ppn));
         }
         // The read above verified the page is valid and holds a payload.
-        Ok(self.tp_payload.get(&ppn).expect("payload checked above"))
+        Ok(self.tp.get(ppn).expect("payload checked above"))
     }
 
     fn program_common(
@@ -365,7 +367,7 @@ impl Flash {
         &mut self,
         ppn: Ppn,
         vtpn: u32,
-        payload: Box<[Ppn]>,
+        payload: &[Ppn],
         purpose: OpPurpose,
     ) -> Result<()> {
         if payload.len() != self.entries_per_tp {
@@ -375,7 +377,32 @@ impl Flash {
             });
         }
         self.program_common(ppn, vtpn, purpose, true)?;
-        self.tp_payload.insert(ppn, payload);
+        self.tp.insert(ppn, payload);
+        Ok(())
+    }
+
+    /// Programs a translation page for `vtpn` whose payload is `src`'s
+    /// payload with `updates` patched in — the read-modify-write write half.
+    /// The payload moves arena-to-arena inside the slab (one copy, no
+    /// allocation); `src` itself is left untouched, so the caller keeps the
+    /// program-before-invalidate crash-consistency order.
+    ///
+    /// Accounts one page-program latency; the caller accounts the read of
+    /// `src` separately (via [`Flash::read_page`]).
+    pub fn program_translation_page_from(
+        &mut self,
+        ppn: Ppn,
+        vtpn: u32,
+        src: Ppn,
+        updates: &[(u16, Ppn)],
+        purpose: OpPurpose,
+    ) -> Result<()> {
+        self.check_ppn(src)?;
+        if !self.tp.contains(src) {
+            return Err(FlashError::NotATranslationPage(src));
+        }
+        self.program_common(ppn, vtpn, purpose, true)?;
+        self.tp.insert_copy(ppn, src, updates);
         Ok(())
     }
 
@@ -393,8 +420,9 @@ impl Flash {
                 let block = self.geom.block_of(ppn);
                 self.valid_count[block as usize] -= 1;
                 // Stale translation payloads are unreachable in the model
-                // (reading invalid pages is an error), so drop them eagerly.
-                self.tp_payload.remove(&ppn);
+                // (reading invalid pages is an error), so recycle their
+                // slab slot eagerly.
+                self.tp.remove(ppn);
                 Ok(())
             }
             PageState::Free => Err(FlashError::ReadFree(ppn)),
@@ -442,31 +470,36 @@ impl Flash {
     }
 
     /// Iterates over the valid pages of `block` as `(ppn, tag)` pairs.
+    ///
+    /// The block's state/tag sub-slices are taken once up front, so the
+    /// per-page step is a slice walk — no geometry arithmetic or full-array
+    /// bounds check per page (this is the GC victim-scan hot path).
     pub fn valid_pages(&self, block: BlockId) -> impl Iterator<Item = (Ppn, u32)> + '_ {
-        let first = self.geom.first_ppn(block);
-        let n = self.geom.pages_per_block as u32;
-        (first..first + n)
-            .filter(|&ppn| self.state[ppn as usize] == PageState::Valid)
-            .map(|ppn| (ppn, self.tag[ppn as usize]))
+        let first = self.geom.first_ppn(block) as usize;
+        let n = self.geom.pages_per_block;
+        self.state[first..first + n]
+            .iter()
+            .zip(&self.tag[first..first + n])
+            .enumerate()
+            .filter(|(_, (&s, _))| s == PageState::Valid)
+            .map(move |(i, (_, &tag))| ((first + i) as Ppn, tag))
     }
 
     /// Iterates over every valid page of the device as `(ppn, tag,
-    /// is_translation)`. Intended for consistency oracles in tests; does not
-    /// account any latency.
+    /// is_translation)`. Intended for consistency oracles in tests and for
+    /// mount-time scans; does not account any latency.
     pub fn scan_valid(&self) -> impl Iterator<Item = (Ppn, u32, bool)> + '_ {
         self.state
             .iter()
+            .zip(&self.tag)
             .enumerate()
-            .filter(|&(_i, s)| *s == PageState::Valid)
-            .map(|(i, _s)| {
-                let ppn = i as Ppn;
-                (ppn, self.tag[i], self.tp_payload.contains_key(&ppn))
-            })
+            .filter(|(_, (&s, _))| s == PageState::Valid)
+            .map(|(i, (_, &tag))| (i as Ppn, tag, self.tp.contains(i as Ppn)))
     }
 
     /// Direct payload access without read accounting; for oracles in tests.
     pub fn peek_translation_payload(&self, ppn: Ppn) -> Option<&[Ppn]> {
-        self.tp_payload.get(&ppn).map(|b| &b[..])
+        self.tp.get(ppn)
     }
 }
 
@@ -582,8 +615,8 @@ mod tests {
     #[test]
     fn translation_payload_roundtrip() {
         let mut f = small();
-        let payload: Box<[Ppn]> = vec![crate::PPN_NONE; 1024].into_boxed_slice();
-        f.program_translation_page(0, 12, payload, OpPurpose::Translation)
+        let payload = vec![crate::PPN_NONE; 1024];
+        f.program_translation_page(0, 12, &payload, OpPurpose::Translation)
             .unwrap();
         let info = f.read_page(0, OpPurpose::Translation).unwrap();
         assert!(info.is_translation);
@@ -602,11 +635,50 @@ mod tests {
     }
 
     #[test]
+    fn program_from_copies_and_patches() {
+        let mut f = small();
+        let mut payload = vec![crate::PPN_NONE; 1024];
+        payload[3] = 33;
+        f.program_translation_page(0, 9, &payload, OpPurpose::Translation)
+            .unwrap();
+        f.program_translation_page_from(1, 9, 0, &[(5, 55)], OpPurpose::Translation)
+            .unwrap();
+        // Source stays intact (program-before-invalidate order).
+        assert_eq!(f.peek_translation_payload(0).unwrap()[3], 33);
+        let copy = f.peek_translation_payload(1).unwrap();
+        assert_eq!(copy[3], 33);
+        assert_eq!(copy[5], 55);
+        // Copying from a data page (or a page without payload) is an error.
+        let mut f2 = small();
+        f2.program_page(0, 1, OpPurpose::HostData).unwrap();
+        assert_eq!(
+            f2.program_translation_page_from(1, 0, 0, &[], OpPurpose::Translation),
+            Err(FlashError::NotATranslationPage(0))
+        );
+    }
+
+    #[test]
+    fn torn_program_from_stores_no_payload() {
+        let mut f = small();
+        f.program_translation_page(0, 4, &vec![0; 1024], OpPurpose::Translation)
+            .unwrap();
+        f.arm_faults(FaultPlan::on_translation_write(0));
+        assert_eq!(
+            f.program_translation_page_from(1, 4, 0, &[(0, 1)], OpPurpose::Translation),
+            Err(FlashError::PowerLoss)
+        );
+        f.disarm_faults();
+        assert_eq!(f.state(1).unwrap(), PageState::Torn);
+        assert!(f.peek_translation_payload(1).is_none());
+        // The source copy survives the torn program.
+        assert!(f.peek_translation_payload(0).is_some());
+    }
+
+    #[test]
     fn bad_payload_length_rejected() {
         let mut f = small();
-        let payload: Box<[Ppn]> = vec![0; 10].into_boxed_slice();
         assert_eq!(
-            f.program_translation_page(0, 0, payload, OpPurpose::Translation),
+            f.program_translation_page(0, 0, &[0; 10], OpPurpose::Translation),
             Err(FlashError::BadPayloadLength {
                 got: 10,
                 expected: 1024
@@ -617,8 +689,7 @@ mod tests {
     #[test]
     fn invalidate_drops_payload() {
         let mut f = small();
-        let payload: Box<[Ppn]> = vec![0; 1024].into_boxed_slice();
-        f.program_translation_page(0, 0, payload, OpPurpose::Translation)
+        f.program_translation_page(0, 0, &vec![0; 1024], OpPurpose::Translation)
             .unwrap();
         f.invalidate(0).unwrap();
         assert!(f.peek_translation_payload(0).is_none());
@@ -722,9 +793,9 @@ mod tests {
     fn torn_translation_program_stores_no_payload() {
         let mut f = small();
         f.arm_faults(FaultPlan::on_translation_write(0));
-        let payload: Box<[Ppn]> = vec![crate::PPN_NONE; 1024].into_boxed_slice();
+        let payload = vec![crate::PPN_NONE; 1024];
         assert_eq!(
-            f.program_translation_page(0, 3, payload, OpPurpose::Translation),
+            f.program_translation_page(0, 3, &payload, OpPurpose::Translation),
             Err(FlashError::PowerLoss)
         );
         f.disarm_faults();

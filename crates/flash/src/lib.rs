@@ -21,16 +21,20 @@
 //! of address translation from the costs of user I/O exactly the way the
 //! paper's Table 1 symbols do (`N_tw`, `N_md`, `N_dt`, `N_mt`, ...).
 //!
-//! Translation pages carry an actual payload (`Box<[Ppn]>`): the mapping
-//! table is persisted through, and migrated by, the flash model itself rather
-//! than being shadow-copied in the FTL, which lets the test suite verify that
-//! the on-flash mapping state is always consistent.
+//! Translation pages carry an actual payload: the mapping table is persisted
+//! through, and migrated by, the flash model itself rather than being
+//! shadow-copied in the FTL, which lets the test suite verify that the
+//! on-flash mapping state is always consistent. Payloads live in a
+//! slab-backed arena (fixed-size slots, free-list, dense `Ppn -> slot`
+//! index), so programming or dropping one is index arithmetic with no
+//! per-page heap allocation in steady state.
 
 mod error;
 mod fault;
 mod flash;
 mod geometry;
 mod stats;
+mod tpslab;
 
 pub use error::FlashError;
 pub use fault::{FaultMode, FaultPlan, FaultRecord};

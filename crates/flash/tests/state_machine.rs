@@ -120,9 +120,9 @@ fn device_matches_oracle() {
                     let b = block as usize;
                     if oracle.programmed[b] < PAGES_PER_BLOCK {
                         let ppn = flash.next_free_ppn(block as u32).unwrap();
-                        let payload: Box<[Ppn]> = vec![vtpn; entries].into_boxed_slice();
+                        let payload = vec![vtpn; entries];
                         flash
-                            .program_translation_page(ppn, vtpn, payload, OpPurpose::Translation)
+                            .program_translation_page(ppn, vtpn, &payload, OpPurpose::Translation)
                             .unwrap();
                         oracle.state[ppn as usize] = PageState::Valid;
                         oracle.tag[ppn as usize] = vtpn;
