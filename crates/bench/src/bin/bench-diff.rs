@@ -11,7 +11,8 @@
 //!
 //! ```text
 //! bench-diff [--quick] [--baseline PATH] [--fresh PATH]
-//!            [--threshold PCT] [--filter SUBSTR] [--out PATH]
+//!            [--threshold PCT] [--filter SUBSTR] [--exclude SUBSTR]
+//!            [--shards LIST] [--out PATH]
 //! ```
 //!
 //! * `--quick`     — CI smoke sizing for the fresh run (fewer samples/ops).
@@ -21,6 +22,10 @@
 //! * `--threshold` — regression threshold in percent (default 15).
 //! * `--filter`    — restrict both sides to `scenario/ftl` ids containing
 //!   SUBSTR.
+//! * `--exclude`   — drop `scenario/ftl` ids containing SUBSTR from both
+//!   sides (for scenarios gated separately at a different threshold).
+//! * `--shards`    — shard counts for the fresh run's sharded-replay rows
+//!   (comma-separated powers of two; default `2,4`; `none` skips them).
 //! * `--out`       — diff report JSON path (default `bench_diff.json`).
 
 use serde_json::Value;
@@ -31,7 +36,28 @@ struct Opts {
     fresh: Option<String>,
     threshold: f64,
     filter: Option<String>,
+    exclude: Option<String>,
+    shards: Vec<u32>,
     out: String,
+}
+
+fn parse_shards(raw: &str) -> Vec<u32> {
+    if raw == "none" {
+        return Vec::new();
+    }
+    raw.split(',')
+        .map(|part| {
+            let n: u32 = part.trim().parse().unwrap_or_else(|_| {
+                eprintln!("--shards needs comma-separated numbers, got {part:?}");
+                std::process::exit(2);
+            });
+            if !n.is_power_of_two() {
+                eprintln!("--shards entries must be powers of two, got {n}");
+                std::process::exit(2);
+            }
+            n
+        })
+        .collect()
 }
 
 fn parse_opts() -> Opts {
@@ -41,6 +67,8 @@ fn parse_opts() -> Opts {
         fresh: None,
         threshold: 15.0,
         filter: None,
+        exclude: None,
+        shards: tpftl_bench::DEFAULT_SHARD_COUNTS.to_vec(),
         out: "bench_diff.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -63,12 +91,15 @@ fn parse_opts() -> Opts {
                 });
             }
             "--filter" => opts.filter = Some(need(&mut args, "--filter")),
+            "--exclude" => opts.exclude = Some(need(&mut args, "--exclude")),
+            "--shards" => opts.shards = parse_shards(&need(&mut args, "--shards")),
             "--out" => opts.out = need(&mut args, "--out"),
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: bench-diff [--quick] [--baseline PATH] [--fresh PATH] \
-                     [--threshold PCT] [--filter SUBSTR] [--out PATH]"
+                     [--threshold PCT] [--filter SUBSTR] [--exclude SUBSTR] \
+                     [--shards LIST] [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -91,6 +122,7 @@ fn load_report(path: &str) -> Value {
 fn main() {
     let opts = parse_opts();
     let baseline = load_report(&opts.baseline);
+    let fresh_name = opts.fresh.clone().unwrap_or_else(|| "live run".to_string());
     let fresh = match &opts.fresh {
         Some(path) => load_report(path),
         None => {
@@ -98,17 +130,24 @@ fn main() {
                 "running fresh benchmarks ({} mode)...",
                 if opts.quick { "quick" } else { "full" }
             );
-            let records = tpftl_bench::run_all(opts.quick, opts.filter.as_deref());
+            let records = tpftl_bench::run_all(opts.quick, opts.filter.as_deref(), &opts.shards);
             tpftl_bench::render_json(&records, opts.quick)
         }
     };
 
-    let report =
-        tpftl_bench::diff::diff_reports(&baseline, &fresh, opts.threshold, opts.filter.as_deref())
-            .unwrap_or_else(|e| {
-                eprintln!("error: {e}");
-                std::process::exit(2);
-            });
+    let report = tpftl_bench::diff::diff_reports_named(
+        &baseline,
+        &fresh,
+        opts.threshold,
+        opts.filter.as_deref(),
+        opts.exclude.as_deref(),
+        &format!("baseline {}", opts.baseline),
+        &format!("fresh {fresh_name}"),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
 
     print!("{}", report.render_table());
     let text = serde_json::to_string_pretty(&report.to_json()).expect("render JSON");

@@ -12,7 +12,7 @@
 //!
 //! ```text
 //! crash-matrix [--quick] [--exhaustive] [--points N] [--requests N]
-//!              [--seed N] [--out PATH]
+//!              [--seed N] [--threads N] [--out PATH]
 //! ```
 //!
 //! * `--quick`      — small trace + few crash points; the CI smoke mode.
@@ -20,6 +20,10 @@
 //! * `--points`     — evenly spaced crash points per FTL (default 256).
 //! * `--requests`   — trace length in host requests (default 500).
 //! * `--seed`       — trace seed (default 42).
+//! * `--threads`    — worker threads for the crash-point sweep (default:
+//!   one per core). Each crash point is an independent replay, so the
+//!   results are merged in op-index order and the output is identical to
+//!   a serial run.
 //! * `--out`        — JSON output path (default `CRASH_matrix.json`).
 //!
 //! JSON schema (`schema: "crash-matrix-v1"`): per-FTL records with the
@@ -28,7 +32,7 @@
 
 use serde_json::Value;
 use tpftl_core::SsdConfig;
-use tpftl_experiments::runner::FtlKind;
+use tpftl_experiments::runner::{run_parallel_with, FtlKind};
 use tpftl_flash::FaultPlan;
 use tpftl_sim::{CrashHarness, CrashOutcome};
 use tpftl_trace::SyntheticSpec;
@@ -42,6 +46,7 @@ struct Opts {
     points: u64,
     requests: usize,
     seed: u64,
+    threads: Option<usize>,
     out: String,
 }
 
@@ -52,6 +57,7 @@ fn parse_opts() -> Opts {
         points: 256,
         requests: 500,
         seed: 42,
+        threads: None,
         out: "CRASH_matrix.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -68,6 +74,14 @@ fn parse_opts() -> Opts {
             "--points" => opts.points = next_num(&mut args, "--points"),
             "--requests" => opts.requests = next_num(&mut args, "--requests") as usize,
             "--seed" => opts.seed = next_num(&mut args, "--seed"),
+            "--threads" => {
+                let n = next_num(&mut args, "--threads") as usize;
+                if n == 0 {
+                    eprintln!("--threads must be at least 1");
+                    std::process::exit(2);
+                }
+                opts.threads = Some(n);
+            }
             "--out" => {
                 opts.out = args.next().unwrap_or_else(|| {
                     eprintln!("--out needs a path");
@@ -78,7 +92,7 @@ fn parse_opts() -> Opts {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: crash-matrix [--quick] [--exhaustive] [--points N] \
-                     [--requests N] [--seed N] [--out PATH]"
+                     [--requests N] [--seed N] [--threads N] [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -160,10 +174,17 @@ fn sweep(harness: &CrashHarness, kind: FtlKind, opts: &Opts) -> MatrixRow {
         stale_cleared: 0,
         violations: Vec::new(),
     };
-    for &op in &points {
-        let out: CrashOutcome = harness
+    // Every crash point is an independent replay on its own device, so
+    // the sweep fans out across workers; zipping the results back against
+    // `points` keeps the aggregation (and violation order) identical to a
+    // serial loop.
+    let ftl_name = row.ftl.clone();
+    let outcomes: Vec<CrashOutcome> = run_parallel_with(points.clone(), opts.threads, |&op| {
+        harness
             .run_to_crash(build(), FaultPlan::at_op(op))
-            .unwrap_or_else(|e| panic!("{} op {op}: harness error {e}", row.ftl));
+            .unwrap_or_else(|e| panic!("{ftl_name} op {op}: harness error {e}"))
+    });
+    for (&op, out) in points.iter().zip(&outcomes) {
         row.torn_pages += out.recovery.torn_pages;
         row.duplicates_discarded +=
             out.recovery.duplicate_data_discarded + out.recovery.duplicate_translation_discarded;

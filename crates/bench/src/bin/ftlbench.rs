@@ -8,39 +8,66 @@
 //! Usage:
 //!
 //! ```text
-//! ftlbench [--quick] [--filter SUBSTR] [--out PATH]
+//! ftlbench [--quick] [--filter SUBSTR] [--shards LIST] [--out PATH]
 //! ```
 //!
 //! * `--quick`  — fewer samples/ops; the CI smoke configuration.
 //! * `--filter` — run only scenarios whose `scenario/ftl` id contains SUBSTR.
+//! * `--shards` — comma-separated shard counts for the sharded-replay rows
+//!   (powers of two; default `2,4`; `none` skips them).
 //! * `--out`    — JSON output path (default `BENCH_ftl.json`).
 
 struct Opts {
     quick: bool,
     filter: Option<String>,
+    shards: Vec<u32>,
     out: String,
+}
+
+fn parse_shards(raw: &str) -> Vec<u32> {
+    if raw == "none" {
+        return Vec::new();
+    }
+    raw.split(',')
+        .map(|part| {
+            let n: u32 = part.trim().parse().unwrap_or_else(|_| {
+                eprintln!("--shards needs comma-separated numbers, got {part:?}");
+                std::process::exit(2);
+            });
+            if !n.is_power_of_two() {
+                eprintln!("--shards entries must be powers of two, got {n}");
+                std::process::exit(2);
+            }
+            n
+        })
+        .collect()
 }
 
 fn parse_opts() -> Opts {
     let mut opts = Opts {
         quick: false,
         filter: None,
+        shards: tpftl_bench::DEFAULT_SHARD_COUNTS.to_vec(),
         out: "BENCH_ftl.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => opts.quick = true,
             "--filter" => opts.filter = args.next(),
-            "--out" => {
-                opts.out = args.next().unwrap_or_else(|| {
-                    eprintln!("--out needs a path");
-                    std::process::exit(2);
-                })
-            }
+            "--shards" => opts.shards = parse_shards(&need(&mut args, "--shards")),
+            "--out" => opts.out = need(&mut args, "--out"),
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: ftlbench [--quick] [--filter SUBSTR] [--out PATH]");
+                eprintln!(
+                    "usage: ftlbench [--quick] [--filter SUBSTR] [--shards LIST] [--out PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -50,7 +77,7 @@ fn parse_opts() -> Opts {
 
 fn main() {
     let opts = parse_opts();
-    let records = tpftl_bench::run_all(opts.quick, opts.filter.as_deref());
+    let records = tpftl_bench::run_all(opts.quick, opts.filter.as_deref(), &opts.shards);
     tpftl_bench::print_table(&records);
     let json = tpftl_bench::render_json(&records, opts.quick);
     let text = serde_json::to_string_pretty(&json).expect("render JSON");

@@ -101,7 +101,7 @@ impl DiffReport {
     /// Renders the human-readable comparison table.
     pub fn render_table(&self) -> String {
         let mut out = format!(
-            "{:<18} {:<14} {:>12} {:>12} {:>8}  {}\n",
+            "{:<26} {:<14} {:>12} {:>12} {:>8}  {}\n",
             "scenario", "ftl", "baseline", "fresh", "delta", "status"
         );
         let fmt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |n| format!("{n:.1}"));
@@ -110,7 +110,7 @@ impl DiffReport {
                 .delta_pct
                 .map_or_else(|| "-".to_string(), |d| format!("{d:+.1}%"));
             out.push_str(&format!(
-                "{:<18} {:<14} {:>12} {:>12} {:>8}  {}\n",
+                "{:<26} {:<14} {:>12} {:>12} {:>8}  {}\n",
                 r.scenario,
                 r.ftl,
                 fmt(r.baseline_ns),
@@ -127,25 +127,33 @@ impl DiffReport {
 type IndexedRow = ((String, String), f64);
 
 /// Extracts `(scenario, ftl) -> median ns_per_op` from an `ftlbench-v1`
-/// document, in document order.
-fn index_report(report: &Value) -> Result<Vec<IndexedRow>, String> {
+/// document, in document order. `name` labels the document (which file or
+/// side) so a malformed report is identifiable from the error alone.
+fn index_report(report: &Value, name: &str) -> Result<Vec<IndexedRow>, String> {
     let results = report
         .get("results")
         .and_then(Value::as_array)
-        .ok_or_else(|| "report has no `results` array".to_string())?;
+        .ok_or_else(|| format!("{name}: report has no `results` array"))?;
     results
         .iter()
-        .map(|r| {
+        .enumerate()
+        .map(|(i, r)| {
+            // Identify the offending record by scenario name when it has
+            // one, by position otherwise.
+            let ident = || match r.get("scenario").and_then(Value::as_str) {
+                Some(s) => format!("{name}: result record {i} (scenario `{s}`)"),
+                None => format!("{name}: result record {i}"),
+            };
             let field = |k: &str| {
                 r.get(k)
                     .and_then(Value::as_str)
                     .map(str::to_string)
-                    .ok_or_else(|| format!("result record missing `{k}`"))
+                    .ok_or_else(|| format!("{} missing `{k}`", ident()))
             };
             let ns = r
                 .get("ns_per_op")
                 .and_then(Value::as_f64)
-                .ok_or_else(|| "result record missing `ns_per_op`".to_string())?;
+                .ok_or_else(|| format!("{} missing `ns_per_op`", ident()))?;
             Ok(((field("scenario")?, field("ftl")?), ns))
         })
         .collect()
@@ -161,13 +169,41 @@ pub fn diff_reports(
     threshold_pct: f64,
     filter: Option<&str>,
 ) -> Result<DiffReport, String> {
-    let keep =
-        |key: &(String, String)| filter.is_none_or(|f| format!("{}/{}", key.0, key.1).contains(f));
-    let base: Vec<_> = index_report(baseline)?
+    diff_reports_named(
+        baseline,
+        fresh,
+        threshold_pct,
+        filter,
+        None,
+        "baseline",
+        "fresh",
+    )
+}
+
+/// [`diff_reports`] with an exclusion pattern and explicit document labels
+/// (typically file paths) so errors name the offending report. `exclude`
+/// drops rows whose `scenario/ftl` id contains it from *both* sides — for
+/// scenarios gated separately (e.g. the sharded-replay rows, whose wall
+/// clock on an oversubscribed CI runner is too noisy for the strict
+/// threshold that the single-queue rows hold).
+pub fn diff_reports_named(
+    baseline: &Value,
+    fresh: &Value,
+    threshold_pct: f64,
+    filter: Option<&str>,
+    exclude: Option<&str>,
+    baseline_name: &str,
+    fresh_name: &str,
+) -> Result<DiffReport, String> {
+    let keep = |key: &(String, String)| {
+        let id = format!("{}/{}", key.0, key.1);
+        filter.is_none_or(|f| id.contains(f)) && !exclude.is_some_and(|e| id.contains(e))
+    };
+    let base: Vec<_> = index_report(baseline, baseline_name)?
         .into_iter()
         .filter(|(k, _)| keep(k))
         .collect();
-    let new: Vec<_> = index_report(fresh)?
+    let new: Vec<_> = index_report(fresh, fresh_name)?
         .into_iter()
         .filter(|(k, _)| keep(k))
         .collect();
@@ -289,8 +325,69 @@ mod tests {
     }
 
     #[test]
+    fn exclude_drops_rows_from_both_sides() {
+        let base = report(&[("a", "x", 100.0), ("a_shards4", "x", 100.0)]);
+        let fresh = report(&[
+            ("a", "x", 101.0),
+            ("a_shards4", "x", 300.0), // would regress, but excluded
+            ("b_shards2", "x", 10.0),  // would be `new`, but excluded
+        ]);
+        let d = diff_reports_named(&base, &fresh, 15.0, None, Some("shards"), "b", "f").unwrap();
+        assert!(!d.has_failure());
+        assert_eq!(d.rows.len(), 1);
+        assert_eq!(d.rows[0].scenario, "a");
+    }
+
+    #[test]
     fn malformed_report_is_an_error() {
         let bad = Value::Object(vec![("schema".to_string(), Value::Str("x".to_string()))]);
         assert!(diff_reports(&bad, &report(&[]), 15.0, None).is_err());
+    }
+
+    #[test]
+    fn errors_name_the_offending_report_and_record() {
+        let bad = Value::Object(vec![("schema".to_string(), Value::Str("x".to_string()))]);
+        let err = diff_reports_named(
+            &bad,
+            &report(&[]),
+            15.0,
+            None,
+            None,
+            "BENCH_ftl.json",
+            "fresh",
+        )
+        .unwrap_err();
+        assert!(err.contains("BENCH_ftl.json"), "got: {err}");
+
+        // A record missing `ns_per_op` is identified by side, position,
+        // and scenario name.
+        let broken = Value::Object(vec![(
+            "results".to_string(),
+            Value::Array(vec![
+                Value::Object(vec![
+                    ("scenario".to_string(), Value::Str("a".to_string())),
+                    ("ftl".to_string(), Value::Str("x".to_string())),
+                    ("ns_per_op".to_string(), Value::Float(1.0)),
+                ]),
+                Value::Object(vec![(
+                    "scenario".to_string(),
+                    Value::Str("miss_scan".to_string()),
+                )]),
+            ]),
+        )]);
+        let err = diff_reports_named(
+            &report(&[]),
+            &broken,
+            15.0,
+            None,
+            None,
+            "base",
+            "fresh.json",
+        )
+        .unwrap_err();
+        assert!(err.contains("fresh.json"), "got: {err}");
+        assert!(err.contains("record 1"), "got: {err}");
+        assert!(err.contains("miss_scan"), "got: {err}");
+        assert!(err.contains("ns_per_op"), "got: {err}");
     }
 }

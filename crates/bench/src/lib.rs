@@ -11,7 +11,7 @@ pub mod scenarios;
 
 use serde_json::Value;
 
-pub use scenarios::{run_all, Record};
+pub use scenarios::{run_all, Record, DEFAULT_SHARD_COUNTS};
 
 /// Renders a slice of records as the `ftlbench-v1` JSON document.
 pub fn render_json(records: &[Record], quick: bool) -> Value {
@@ -28,7 +28,7 @@ pub fn render_json(records: &[Record], quick: bool) -> Value {
 /// Prints the human-readable results table to stdout.
 pub fn print_table(records: &[Record]) {
     println!(
-        "{:<18} {:<14} {:>12} {:>12} {:>10}",
+        "{:<26} {:<14} {:>12} {:>12} {:>10}",
         "scenario", "ftl", "median ns/op", "min ns/op", "hit ratio"
     );
     for r in records {
@@ -39,7 +39,7 @@ pub fn print_table(records: &[Record]) {
             .and_then(|(_, v)| v.as_f64())
             .map_or_else(|| "-".to_string(), |h| format!("{h:.4}"));
         println!(
-            "{:<18} {:<14} {:>12.1} {:>12.1} {:>10}",
+            "{:<26} {:<14} {:>12.1} {:>12.1} {:>10}",
             r.scenario,
             r.ftl,
             r.median(),

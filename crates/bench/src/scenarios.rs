@@ -10,15 +10,19 @@ use tpftl_core::ftl::{AccessCtx, Ftl};
 use tpftl_core::SsdConfig;
 use tpftl_experiments::runner::{device_config, FtlKind, SEED};
 use tpftl_flash::{Flash, FlashGeometry, OpPurpose};
-use tpftl_sim::Ssd;
+use tpftl_sim::{ShardedSsd, Ssd};
 use tpftl_trace::presets::Workload;
+use tpftl_trace::SyntheticSpec;
 
 /// The FTLs under test: the paper's cached-mapping designs.
 pub const KINDS: [FtlKind; 4] = [FtlKind::Tpftl, FtlKind::Dftl, FtlKind::Sftl, FtlKind::Cdftl];
 
+/// Shard counts benchmarked by default (`ftlbench` with no `--shards`).
+pub const DEFAULT_SHARD_COUNTS: [u32; 2] = [2, 4];
+
 /// One timed record, already reduced over its samples.
 pub struct Record {
-    pub scenario: &'static str,
+    pub scenario: String,
     pub ftl: String,
     pub ops_per_iter: u64,
     pub samples: Vec<f64>, // ns per op
@@ -42,7 +46,7 @@ impl Record {
 
     pub fn to_json(&self) -> Value {
         let mut fields = vec![
-            ("scenario", Value::Str(self.scenario.to_string())),
+            ("scenario", Value::Str(self.scenario.clone())),
             ("ftl", Value::Str(self.ftl.clone())),
             ("ns_per_op", Value::Float(self.median())),
             ("min_ns_per_op", Value::Float(self.min())),
@@ -104,7 +108,7 @@ pub fn bench_translate_hit(kind: FtlKind, warmup: usize, samples: usize, ops: u6
     });
     let hit_ratio = env.stats.hits as f64 / env.stats.lookups as f64;
     Record {
-        scenario: "translate_hit",
+        scenario: "translate_hit".to_string(),
         ftl: ftl.name(),
         ops_per_iter: ops,
         samples: ns,
@@ -131,7 +135,7 @@ pub fn bench_miss_scan(kind: FtlKind, warmup: usize, samples: usize, ops: u64) -
     });
     let hit_ratio = env.stats.hits as f64 / env.stats.lookups as f64;
     Record {
-        scenario: "miss_scan",
+        scenario: "miss_scan".to_string(),
         ftl: ftl.name(),
         ops_per_iter: ops,
         samples: ns,
@@ -156,7 +160,7 @@ pub fn bench_write_gc(kind: FtlKind, warmup: usize, samples: usize, ops: u64) ->
     });
     let hit_ratio = env.stats.hits as f64 / env.stats.lookups as f64;
     Record {
-        scenario: "write_gc",
+        scenario: "write_gc".to_string(),
         ftl: ftl.name(),
         ops_per_iter: ops,
         samples: ns,
@@ -200,7 +204,7 @@ pub fn bench_gc_valid_scan(warmup: usize, samples: usize) -> Record {
         black_box(found);
     });
     Record {
-        scenario: "gc_valid_scan",
+        scenario: "gc_valid_scan".to_string(),
         ftl: "flash".to_string(),
         ops_per_iter: total_pages,
         samples: ns,
@@ -231,7 +235,7 @@ pub fn bench_replay(kind: FtlKind, samples: usize, requests: usize) -> Record {
         s[s.len() / 2]
     };
     Record {
-        scenario: "replay_financial1",
+        scenario: "replay_financial1".to_string(),
         ftl: kind.build(&config).expect("FTL builds").name(),
         ops_per_iter: requests as u64,
         samples: ns,
@@ -248,11 +252,92 @@ pub fn bench_replay(kind: FtlKind, samples: usize, requests: usize) -> Record {
     }
 }
 
+/// Macro replay on the sharded multi-queue engine: the same Financial1
+/// trace as [`bench_replay`], striped over `shards` worker threads (see
+/// `tpftl_sim::ShardedSsd`). The record carries the per-shard load split
+/// so imbalance is visible next to the throughput number.
+pub fn bench_replay_sharded(kind: FtlKind, samples: usize, requests: usize, shards: u32) -> Record {
+    let workload = Workload::Financial1;
+    let config = device_config(workload);
+    let spec = workload.spec(requests);
+    let mut ns = Vec::new();
+    let mut last = None;
+    for _ in 0..samples {
+        let mut ssd =
+            ShardedSsd::new(&config, shards, |_, c| kind.build(c)).expect("sharded ssd builds");
+        let t = Instant::now();
+        let report = ssd.run(spec.iter(SEED)).expect("replay");
+        ns.push(t.elapsed().as_nanos() as f64 / requests as f64);
+        last = Some(report);
+    }
+    let report = last.expect("at least one sample");
+    let median = {
+        let mut s = ns.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        s[s.len() / 2]
+    };
+    Record {
+        scenario: format!("replay_financial1_shards{shards}"),
+        ftl: kind.build(&config).expect("FTL builds").name(),
+        ops_per_iter: requests as u64,
+        samples: ns,
+        extra: vec![
+            ("requests_per_sec", Value::Float(1e9 / median)),
+            ("hit_ratio", Value::Float(report.merged.hit_ratio())),
+            (
+                "avg_response_us",
+                Value::Float(report.merged.avg_response_us),
+            ),
+            ("shards", Value::UInt(shards as u64)),
+            ("load_imbalance", Value::Float(report.load.imbalance)),
+        ],
+    }
+}
+
+/// GC under sharding: a write-only stream over a pre-filled device keeps
+/// every shard's garbage collector busy, measuring the engine when each
+/// worker is compute-bound rather than queue-bound.
+pub fn bench_sharded_write_gc(shards: u32, samples: usize, requests: usize) -> Record {
+    let mut config = micro_config();
+    config.prefill_frac = 1.0;
+    let spec = SyntheticSpec {
+        requests,
+        address_bytes: config.logical_bytes,
+        write_ratio: 1.0,
+        ..SyntheticSpec::default()
+    };
+    let mut ns = Vec::new();
+    let mut last = None;
+    for _ in 0..samples {
+        let mut ssd =
+            ShardedSsd::new(&config, shards, |_, c| FtlKind::Tpftl.build(c)).expect("sharded ssd");
+        let t = Instant::now();
+        let report = ssd.run(spec.iter(SEED)).expect("sharded write gc");
+        ns.push(t.elapsed().as_nanos() as f64 / requests as f64);
+        last = Some(report);
+    }
+    let report = last.expect("at least one sample");
+    Record {
+        scenario: "sharded_write_gc".to_string(),
+        ftl: "TPFTL(rsbc)".to_string(),
+        ops_per_iter: requests as u64,
+        samples: ns,
+        extra: vec![
+            ("hit_ratio", Value::Float(report.merged.hit_ratio())),
+            ("erases", Value::UInt(report.merged.erase_count())),
+            ("shards", Value::UInt(shards as u64)),
+            ("load_imbalance", Value::Float(report.load.imbalance)),
+        ],
+    }
+}
+
 /// Runs the full scenario matrix; `quick` selects the CI smoke sizing.
 /// `filter` restricts the run to scenarios whose `scenario/ftl` id
 /// contains it — non-matching scenarios are skipped, not run-and-hidden,
 /// so a filtered invocation is proportionally fast (and profileable).
-pub fn run_all(quick: bool, filter: Option<&str>) -> Vec<Record> {
+/// `shard_counts` selects which sharded-replay rows to run (TPFTL only;
+/// pass `&[]` to skip the sharded scenarios entirely).
+pub fn run_all(quick: bool, filter: Option<&str>, shard_counts: &[u32]) -> Vec<Record> {
     let (warmup, samples) = if quick { (1, 3) } else { (3, 9) };
     let (hit_ops, miss_ops, write_ops) = if quick {
         (1024, 128, 256)
@@ -289,6 +374,27 @@ pub fn run_all(quick: bool, filter: Option<&str>) -> Vec<Record> {
     }
     if wanted("gc_valid_scan", "flash") {
         records.push(bench_gc_valid_scan(warmup, samples));
+    }
+    for &shards in shard_counts {
+        let label = format!("replay_financial1_shards{shards}");
+        if wanted(&label, "TPFTL(rsbc)") {
+            records.push(bench_replay_sharded(
+                FtlKind::Tpftl,
+                samples.min(3),
+                replay_requests,
+                shards,
+            ));
+        }
+    }
+    if let Some(&max_shards) = shard_counts.iter().max() {
+        if wanted("sharded_write_gc", "TPFTL(rsbc)") {
+            let gc_requests = if quick { 6_000 } else { 30_000 };
+            records.push(bench_sharded_write_gc(
+                max_shards,
+                samples.min(3),
+                gc_requests,
+            ));
+        }
     }
     records
 }

@@ -147,6 +147,71 @@ impl SsdConfig {
     pub fn usable_cache_bytes(&self) -> usize {
         self.cache_bytes.saturating_sub(self.gtd_bytes())
     }
+
+    /// Whether the device can be partitioned into `num_shards` LPN-striped
+    /// shards: the count must be a nonzero power of two (routing is a mask
+    /// of the low LPN bits) and every shard must own a whole number of
+    /// translation pages, so per-shard devices keep the paper's
+    /// 1024-entries-per-TP layout exactly.
+    pub fn supports_shards(&self, num_shards: u32) -> bool {
+        num_shards.is_power_of_two()
+            && self
+                .logical_pages()
+                .is_multiple_of(num_shards as u64 * self.entries_per_tp() as u64)
+    }
+
+    /// The configuration of one shard when this device is partitioned into
+    /// `num_shards` independent LPN-striped shards (the sharded engine's
+    /// per-shard geometry). Every extensive resource — logical space, cache
+    /// budget, and with them the derived flash geometry, GTD and
+    /// over-provisioned pool — divides by the shard count; ratios
+    /// (over-provisioning, prefill fraction) and the GC policy carry over,
+    /// and the GC watermarks are re-derived from the shard-sized block
+    /// count with the same rule [`SsdConfig::paper_default`] uses.
+    ///
+    /// `num_shards == 1` returns the configuration unchanged (bit-identical
+    /// single-queue behaviour, whatever the caller customized).
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`SsdConfig::supports_shards`] is false.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tpftl_core::SsdConfig;
+    ///
+    /// let whole = SsdConfig::paper_default(512 << 20);
+    /// let quarter = whole.shard_config(4);
+    /// assert_eq!(quarter.logical_bytes, 128 << 20);
+    /// assert_eq!(quarter.num_vtpns(), whole.num_vtpns() / 4);
+    /// assert_eq!(whole.shard_config(1), whole);
+    /// ```
+    pub fn shard_config(&self, num_shards: u32) -> SsdConfig {
+        assert!(
+            self.supports_shards(num_shards),
+            "cannot split {} logical pages into {num_shards} shards \
+             (need a power of two dividing the translation-page count)",
+            self.logical_pages()
+        );
+        if num_shards == 1 {
+            return self.clone();
+        }
+        let n = num_shards as u64;
+        let mut cfg = SsdConfig {
+            logical_bytes: self.logical_bytes / n,
+            over_provision: self.over_provision,
+            cache_bytes: self.cache_bytes / num_shards as usize,
+            gc_low_blocks: 0,
+            gc_high_blocks: 0,
+            prefill_frac: self.prefill_frac,
+            gc_policy: self.gc_policy,
+        };
+        let blocks = cfg.geometry().num_blocks;
+        cfg.gc_low_blocks = (blocks / 300).clamp(2, 8);
+        cfg.gc_high_blocks = cfg.gc_low_blocks + 1;
+        cfg
+    }
 }
 
 #[cfg(test)]
@@ -190,5 +255,49 @@ mod tests {
     #[should_panic(expected = "cache fraction")]
     fn zero_fraction_panics() {
         let _ = SsdConfig::paper_default(512 << 20).with_cache_fraction(0.0);
+    }
+
+    #[test]
+    fn shard_config_divides_extensive_resources() {
+        let whole = SsdConfig::paper_default(512 << 20);
+        let part = whole.shard_config(4);
+        assert_eq!(part.logical_bytes, whole.logical_bytes / 4);
+        assert_eq!(part.cache_bytes, whole.cache_bytes / 4);
+        assert_eq!(part.num_vtpns() * 4, whole.num_vtpns());
+        assert_eq!(part.over_provision, whole.over_provision);
+        assert_eq!(part.gc_policy, whole.gc_policy);
+        // Watermarks follow the paper_default rule on the shard geometry.
+        let blocks = part.geometry().num_blocks;
+        assert_eq!(part.gc_low_blocks, (blocks / 300).clamp(2, 8));
+        assert_eq!(part.gc_high_blocks, part.gc_low_blocks + 1);
+    }
+
+    #[test]
+    fn one_shard_is_identity_even_when_customized() {
+        let mut cfg = SsdConfig::paper_default(512 << 20);
+        cfg.cache_bytes = 12_345;
+        cfg.gc_low_blocks = 5;
+        cfg.gc_high_blocks = 9;
+        cfg.prefill_frac = 0.3;
+        assert_eq!(cfg.shard_config(1), cfg);
+    }
+
+    #[test]
+    fn supports_shards_checks_divisibility() {
+        let cfg = SsdConfig::paper_default(512 << 20); // 128 VTPNs
+        assert!(cfg.supports_shards(1));
+        assert!(cfg.supports_shards(4));
+        assert!(cfg.supports_shards(128));
+        assert!(!cfg.supports_shards(3));
+        assert!(!cfg.supports_shards(256));
+        let tiny = SsdConfig::paper_default(4 << 20); // one VTPN
+        assert!(tiny.supports_shards(1));
+        assert!(!tiny.supports_shards(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn shard_config_rejects_unsupported_counts() {
+        let _ = SsdConfig::paper_default(4 << 20).shard_config(2);
     }
 }

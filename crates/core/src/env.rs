@@ -47,6 +47,15 @@ impl GcStats {
             self.trans_pages_migrated as f64 / self.trans_victims as f64
         }
     }
+
+    /// Adds `other`'s counters into `self` — the sharded engine's
+    /// per-shard stats merge (pure integer sums, order-independent).
+    pub fn merge_from(&mut self, other: &GcStats) {
+        self.data_victims += other.data_victims;
+        self.data_pages_migrated += other.data_pages_migrated;
+        self.trans_victims += other.trans_victims;
+        self.trans_pages_migrated += other.trans_pages_migrated;
+    }
 }
 
 /// Flash device + block manager + GTD + counters.
@@ -476,6 +485,14 @@ impl SsdEnv {
         self.gc_stats = GcStats::default();
     }
 }
+
+// The sharded engine moves whole environments into worker threads; lock the
+// guarantee in at compile time rather than discovering a stray `Rc` at a
+// distant spawn site.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SsdEnv>();
+};
 
 #[cfg(test)]
 mod tests {

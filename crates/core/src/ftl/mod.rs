@@ -258,6 +258,22 @@ impl<T: Ftl + ?Sized> Ftl for Box<T> {
     }
 }
 
+// Every FTL is moved into a per-shard worker thread by the sharded engine;
+// assert Send-safety for each concrete design (and the boxed form the
+// experiment runner hands out) at compile time.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<TpFtl>();
+    assert_send::<Dftl>();
+    assert_send::<Sftl>();
+    assert_send::<Cdftl>();
+    assert_send::<OptimalFtl>();
+    assert_send::<BlockLevelFtl>();
+    assert_send::<FastFtl>();
+    assert_send::<Zftl>();
+    assert_send::<Box<dyn Ftl + Send>>();
+};
+
 /// Groups GC mapping updates by translation page, in deterministic VTPN
 /// order — the batching unit of DFTL's GC update and everyone else's flush.
 pub(crate) fn group_by_vtpn(

@@ -56,6 +56,20 @@ impl FtlStats {
     pub fn page_write_ratio(&self) -> f64 {
         ratio(self.user_page_writes, self.user_page_accesses())
     }
+
+    /// Adds `other`'s counters into `self` — the sharded engine's
+    /// per-shard stats merge (pure integer sums, order-independent).
+    pub fn merge_from(&mut self, other: &FtlStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.replacements += other.replacements;
+        self.dirty_replacements += other.dirty_replacements;
+        self.gc_updates += other.gc_updates;
+        self.gc_hits += other.gc_hits;
+        self.user_page_reads += other.user_page_reads;
+        self.user_page_writes += other.user_page_writes;
+        self.requests += other.requests;
+    }
 }
 
 fn ratio(num: u64, den: u64) -> f64 {

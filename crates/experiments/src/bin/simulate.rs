@@ -13,21 +13,24 @@
 //!   --prefill F         pre-written fraction of the logical space
 //!   --gc POLICY         greedy | cost-benefit | wear-aware:N (default greedy)
 //!   --buffer PAGES      host write buffer size (default none)
+//!   --shards N          replay on the sharded multi-queue engine with N
+//!                       LPN-striped shards (power of two, default 1)
 //!   --json              emit the full RunReport as JSON
 //! ```
 
 use std::process::ExitCode;
 
 use tpftl_core::config::GcPolicy;
-use tpftl_core::ftl::{BlockLevelFtl, FastFtl, Ftl, TpftlConfig, Zftl};
+use tpftl_core::ftl::{FastFtl, Ftl, TpftlConfig, Zftl};
 use tpftl_experiments::runner::FtlKind;
-use tpftl_sim::Ssd;
+use tpftl_sim::{ShardedSsd, Ssd};
 use tpftl_trace::presets::Workload;
 use tpftl_trace::{parse, IoRequest};
 
 const USAGE: &str = "usage: simulate [--ftl NAME] [--workload NAME | --trace FILE]
                 [--requests N] [--seed N] [--cache-bytes N | --cache-frac F]
-                [--prefill F] [--gc POLICY] [--buffer PAGES] [--json]
+                [--prefill F] [--gc POLICY] [--buffer PAGES] [--shards N]
+                [--json]
 run `simulate --help` for details";
 
 struct Options {
@@ -41,6 +44,7 @@ struct Options {
     prefill: Option<f64>,
     gc: GcPolicy,
     buffer: usize,
+    shards: u32,
     json: bool,
 }
 
@@ -56,6 +60,7 @@ fn parse_args() -> Result<Options, String> {
         prefill: None,
         gc: GcPolicy::Greedy,
         buffer: 0,
+        shards: 1,
         json: false,
     };
     let mut args = std::env::args().skip(1);
@@ -104,6 +109,12 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--buffer" => o.buffer = value("--buffer")?.parse().map_err(|e| format!("{e}"))?,
+            "--shards" => {
+                o.shards = value("--shards")?.parse().map_err(|e| format!("{e}"))?;
+                if !o.shards.is_power_of_two() {
+                    return Err(format!("--shards must be a power of two, got {}", o.shards));
+                }
+            }
             "--json" => o.json = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
@@ -112,24 +123,45 @@ fn parse_args() -> Result<Options, String> {
     Ok(o)
 }
 
-fn build_ftl(name: &str, config: &tpftl_core::SsdConfig) -> Result<Box<dyn Ftl + Send>, String> {
-    let boxed: Box<dyn Ftl + Send> = match name {
-        "dftl" => FtlKind::Dftl.build(config).map_err(|e| e.to_string())?,
-        "tpftl" => FtlKind::Tpftl.build(config).map_err(|e| e.to_string())?,
-        "sftl" => FtlKind::Sftl.build(config).map_err(|e| e.to_string())?,
-        "cdftl" => FtlKind::Cdftl.build(config).map_err(|e| e.to_string())?,
-        "optimal" => FtlKind::Optimal.build(config).map_err(|e| e.to_string())?,
-        "blocklevel" => Box::new(BlockLevelFtl::new(config)),
-        "fast" => Box::new(FastFtl::with_defaults(config)),
-        "zftl" => Box::new(Zftl::with_defaults(config).map_err(|e| e.to_string())?),
+/// A validated `--ftl` name, buildable any number of times (once per shard).
+enum FtlSpec {
+    Kind(FtlKind),
+    Fast,
+    Zftl,
+    TpftlCfg(TpftlConfig),
+}
+
+fn parse_ftl(name: &str) -> Result<FtlSpec, String> {
+    Ok(match name {
+        "dftl" => FtlSpec::Kind(FtlKind::Dftl),
+        "tpftl" => FtlSpec::Kind(FtlKind::Tpftl),
+        "sftl" => FtlSpec::Kind(FtlKind::Sftl),
+        "cdftl" => FtlSpec::Kind(FtlKind::Cdftl),
+        "optimal" => FtlSpec::Kind(FtlKind::Optimal),
+        "blocklevel" => FtlSpec::Kind(FtlKind::BlockLevel),
+        "fast" => FtlSpec::Fast,
+        "zftl" => FtlSpec::Zftl,
         s if s.starts_with("tpftl:") => {
             let flags = &s["tpftl:".len()..];
-            let cfg = TpftlConfig::from_flags(if flags == "-" { "" } else { flags });
-            Box::new(tpftl_core::ftl::TpFtl::new(config, cfg).map_err(|e| e.to_string())?)
+            FtlSpec::TpftlCfg(TpftlConfig::from_flags(if flags == "-" {
+                ""
+            } else {
+                flags
+            }))
         }
         other => return Err(format!("unknown FTL {other}")),
-    };
-    Ok(boxed)
+    })
+}
+
+impl FtlSpec {
+    fn build(&self, config: &tpftl_core::SsdConfig) -> tpftl_core::Result<Box<dyn Ftl + Send>> {
+        Ok(match self {
+            FtlSpec::Kind(kind) => kind.build(config)?,
+            FtlSpec::Fast => Box::new(FastFtl::with_defaults(config)),
+            FtlSpec::Zftl => Box::new(Zftl::with_defaults(config)?),
+            FtlSpec::TpftlCfg(cfg) => Box::new(tpftl_core::ftl::TpFtl::new(config, *cfg)?),
+        })
+    }
 }
 
 fn main() -> ExitCode {
@@ -186,10 +218,62 @@ fn main() -> ExitCode {
     });
     config.gc_policy = o.gc;
 
-    let ftl = match build_ftl(&o.ftl, &config) {
-        Ok(f) => f,
+    let spec = match parse_ftl(&o.ftl) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if o.shards > 1 {
+        if o.buffer > 0 {
+            eprintln!("--buffer is not supported with --shards");
+            return ExitCode::FAILURE;
+        }
+        if !config.supports_shards(o.shards) {
+            eprintln!(
+                "cannot split {} logical pages into {} shards",
+                config.logical_pages(),
+                o.shards
+            );
+            return ExitCode::FAILURE;
+        }
+        let mut ssd = match ShardedSsd::new(&config, o.shards, |_, c| spec.build(c)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot build sharded SSD: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let started = std::time::Instant::now();
+        let report = match ssd.run(trace) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if o.json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&report).expect("serializable")
+            );
+            return ExitCode::SUCCESS;
+        }
+        print_report(&report.merged, &config);
+        println!(
+            "shards:              {} (per-shard requests {:?}, imbalance {:.3})",
+            o.shards, report.load.requests, report.load.imbalance
+        );
+        println!("wall clock:          {:.2?}", started.elapsed());
+        return ExitCode::SUCCESS;
+    }
+
+    let ftl = match spec.build(&config) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot build FTL: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -223,6 +307,18 @@ fn main() -> ExitCode {
         );
         return ExitCode::SUCCESS;
     }
+    print_report(&report, &config);
+    if let Some(b) = ssd.buffer_stats() {
+        println!(
+            "write buffer:        {} absorbed, {} inserted, {} read hits",
+            b.write_absorbed, b.write_inserted, b.read_hits
+        );
+    }
+    println!("wall clock:          {:.2?}", started.elapsed());
+    ExitCode::SUCCESS
+}
+
+fn print_report(report: &tpftl_sim::RunReport, config: &tpftl_core::SsdConfig) {
     println!("ftl:                 {}", report.ftl);
     println!(
         "device:              {} MB, cache {} B",
@@ -247,12 +343,4 @@ fn main() -> ExitCode {
     println!("write amplification: {:.3}", report.write_amplification());
     println!("block erases:        {}", report.erase_count());
     println!("avg response:        {:.1} us", report.avg_response_us);
-    if let Some(b) = ssd.buffer_stats() {
-        println!(
-            "write buffer:        {} absorbed, {} inserted, {} read hits",
-            b.write_absorbed, b.write_inserted, b.read_hits
-        );
-    }
-    println!("wall clock:          {:.2?}", started.elapsed());
-    ExitCode::SUCCESS
 }

@@ -8,7 +8,7 @@ use std::sync::{Arc, Mutex};
 use serde::{Deserialize, Serialize};
 use tpftl_core::ftl::{BlockLevelFtl, Cdftl, Dftl, Ftl, OptimalFtl, Sftl, TpFtl, TpftlConfig};
 use tpftl_core::{Result, SsdConfig};
-use tpftl_sim::{CacheSampler, RunReport, Ssd};
+use tpftl_sim::{CacheSampler, RunReport, ShardedRunReport, ShardedSsd, Ssd};
 use tpftl_trace::presets::Workload;
 
 /// Default RNG seed for workload generation (fixed for reproducibility).
@@ -134,6 +134,22 @@ pub fn run_one(
     ssd.run(spec.iter(SEED))
 }
 
+/// Like [`run_one`] but replayed on the sharded multi-queue engine: the
+/// LPN space is striped across `shards` workers, each owning a private
+/// `1/shards`-geometry device (see [`ShardedSsd`]). With `shards == 1` the
+/// merged report is bit-identical to [`run_one`]'s.
+pub fn run_one_sharded(
+    kind: FtlKind,
+    workload: Workload,
+    scale: Scale,
+    config: &SsdConfig,
+    shards: u32,
+) -> Result<ShardedRunReport> {
+    let mut ssd = ShardedSsd::new(config, shards, |_, shard_config| kind.build(shard_config))?;
+    let spec = workload.spec(scale.requests(workload));
+    ssd.run(spec.iter(SEED))
+}
+
 /// Like [`run_one`] but with a cache sampler attached; returns the report
 /// and the collected samples.
 pub fn run_one_sampled(
@@ -151,9 +167,21 @@ pub fn run_one_sampled(
     Ok((report, sampler))
 }
 
-/// Runs a batch of jobs across `threads` worker threads (deterministic
-/// per-job results; order of the output matches the input).
+/// Runs a batch of jobs across worker threads (deterministic per-job
+/// results; order of the output matches the input). Uses one thread per
+/// available core, capped at the job count.
 pub fn run_parallel<J, R, F>(jobs: Vec<J>, f: F) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    run_parallel_with(jobs, None, f)
+}
+
+/// [`run_parallel`] with an explicit worker-thread count; `None` means one
+/// per available core. Output order matches input order either way.
+pub fn run_parallel_with<J, R, F>(jobs: Vec<J>, threads: Option<usize>, f: F) -> Vec<R>
 where
     J: Send,
     R: Send,
@@ -163,9 +191,13 @@ where
     let queue: Arc<Mutex<VecDeque<(usize, J)>>> =
         Arc::new(Mutex::new(jobs.into_iter().enumerate().collect()));
     let results: Arc<Mutex<Vec<Option<R>>>> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
+    let threads = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        })
+        .max(1)
         .min(n.max(1));
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -255,6 +287,23 @@ mod tests {
         let jobs: Vec<u64> = (0..64).collect();
         let out = run_parallel(jobs, |&j| j * 2);
         assert_eq!(out, (0..64).map(|j| j * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_runner_honors_explicit_thread_count() {
+        let jobs: Vec<u64> = (0..16).collect();
+        let out = run_parallel_with(jobs, Some(1), |&j| j + 1);
+        assert_eq!(out, (1..=16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sharded_run_matches_single_queue_on_one_shard() {
+        let workload = Workload::Financial1;
+        let mut config = device_config(workload);
+        config.prefill_frac = 0.0;
+        let single = run_one(FtlKind::Tpftl, workload, Scale(0.0001), &config).unwrap();
+        let sharded = run_one_sharded(FtlKind::Tpftl, workload, Scale(0.0001), &config, 1).unwrap();
+        assert_eq!(sharded.merged, single);
     }
 
     #[test]

@@ -8,9 +8,12 @@
 //! generator change), re-record by running with `UPDATE_GOLDENS=1` printed
 //! output: `cargo test -p tpftl-experiments --test golden_stats -- --nocapture`.
 
-use tpftl_experiments::runner::{device_config, run_one, FtlKind, Scale};
+use tpftl_experiments::runner::{device_config, run_one, run_one_sharded, FtlKind, Scale};
 use tpftl_sim::RunReport;
 use tpftl_trace::presets::Workload;
+
+/// The TPFTL/Financial1 golden, shared with the sharded-engine test below.
+const TPFTL_FIN1_GOLDEN: &str = "TPFTL(rsbc) req=10000 lk=14046 hit=11654 rep=2137 drep=259 gcu=0 gch=0 upr=3012 upw=11034 tr=2651 tw=259 er=0 gcd=0 gcm=0 gct=0 gctm=0 ce=1212 cb=8192 resp=406f722c24b700d2";
 
 /// A compact, exact fingerprint of everything the paper's figures measure.
 /// Response time is an f64 accumulation; its bits are captured exactly so
@@ -55,7 +58,7 @@ fn cases() -> Vec<(FtlKind, Workload, f64, &'static str)> {
             FtlKind::Tpftl,
             Workload::Financial1,
             0.005,
-            "TPFTL(rsbc) req=10000 lk=14046 hit=11654 rep=2137 drep=259 gcu=0 gch=0 upr=3012 upw=11034 tr=2651 tw=259 er=0 gcd=0 gcm=0 gct=0 gctm=0 ce=1212 cb=8192 resp=406f722c24b700d2",
+            TPFTL_FIN1_GOLDEN,
         ),
         (
             FtlKind::variant(""),
@@ -90,6 +93,39 @@ fn cases() -> Vec<(FtlKind, Workload, f64, &'static str)> {
         (FtlKind::Sftl, Workload::Financial1, 0.005, "S-FTL req=10000 lk=14046 hit=12567 rep=1983 drep=675 gcu=0 gch=0 upr=3012 upw=11034 tr=2013 tw=675 er=0 gcd=0 gcm=0 gct=0 gctm=0 ce=30816 cb=8040 resp=4070343cdd203e1b"),
         (FtlKind::Cdftl, Workload::Financial1, 0.005, "CDFTL req=10000 lk=14046 hit=10556 rep=7677 drep=5892 gcu=0 gch=0 upr=3012 upw=11034 tr=3490 tw=2635 er=0 gcd=0 gcm=0 gct=0 gctm=0 ce=1535 cb=8192 resp=40731bbedb14f735"),
     ]
+}
+
+/// The sharded engine with one shard must be indistinguishable from the
+/// single-queue simulator: same counters, same float bits — so `--shards 1`
+/// anywhere in the tree is pinned to the recorded golden above.
+#[test]
+fn one_shard_replay_reproduces_the_golden_bit_for_bit() {
+    let workload = Workload::Financial1;
+    let config = device_config(workload);
+    let report =
+        run_one_sharded(FtlKind::Tpftl, workload, Scale(0.005), &config, 1).expect("sharded run");
+    assert_eq!(
+        fingerprint(&report.merged),
+        TPFTL_FIN1_GOLDEN,
+        "sharded engine with --shards 1 drifted from the single-queue golden"
+    );
+    assert_eq!(report.per_shard.len(), 1);
+    assert_eq!(fingerprint(&report.per_shard[0]), TPFTL_FIN1_GOLDEN);
+}
+
+/// Sharded replay is deterministic across runs: the merge folds per-shard
+/// reports in shard order, so even the float accumulations are stable
+/// regardless of worker interleaving.
+#[test]
+fn four_shard_replay_is_run_to_run_deterministic() {
+    let workload = Workload::Financial1;
+    let config = device_config(workload);
+    let run = || {
+        run_one_sharded(FtlKind::Tpftl, workload, Scale(0.005), &config, 4).expect("sharded run")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(fingerprint(&a.merged), fingerprint(&b.merged));
+    assert_eq!(a, b);
 }
 
 #[test]

@@ -130,6 +130,20 @@ impl FlashStats {
         self.translation.writes + self.gc_translation.writes
     }
 
+    /// Adds `other`'s counters into `self` — the sharded engine's
+    /// deterministic stats merge (callers must accumulate in a fixed shard
+    /// order so the `busy_us` float sum is reproducible).
+    pub fn merge_from(&mut self, other: &FlashStats) {
+        for purpose in OpPurpose::ALL {
+            let theirs = *other.of(purpose);
+            let ours = self.of_mut(purpose);
+            ours.reads += theirs.reads;
+            ours.writes += theirs.writes;
+            ours.erases += theirs.erases;
+        }
+        self.busy_us += other.busy_us;
+    }
+
     /// Write amplification relative to `user_page_writes` host page writes
     /// (Eq. 12). Returns `None` for read-only workloads.
     pub fn write_amplification(&self, user_page_writes: u64) -> Option<f64> {
@@ -160,6 +174,21 @@ mod tests {
         assert_eq!(s.total_erases(), 1);
         assert_eq!(s.translation_writes(), 3);
         assert!((s.busy_us - 2125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_from_sums_every_purpose() {
+        let mut a = FlashStats::default();
+        a.record(OpKind::Read, OpPurpose::HostData, 25.0);
+        a.record(OpKind::Write, OpPurpose::GcTranslation, 200.0);
+        let mut b = FlashStats::default();
+        b.record(OpKind::Read, OpPurpose::HostData, 25.0);
+        b.record(OpKind::Erase, OpPurpose::GcData, 1500.0);
+        a.merge_from(&b);
+        assert_eq!(a.of(OpPurpose::HostData).reads, 2);
+        assert_eq!(a.of(OpPurpose::GcTranslation).writes, 1);
+        assert_eq!(a.of(OpPurpose::GcData).erases, 1);
+        assert!((a.busy_us - 1750.0).abs() < 1e-9);
     }
 
     #[test]

@@ -15,12 +15,14 @@ mod buffer;
 mod crash;
 mod report;
 mod sampler;
+mod shard;
 mod ssd;
 
 pub use buffer::{BufferStats, WriteBuffer};
 pub use crash::{CrashHarness, CrashOutcome};
 pub use report::RunReport;
 pub use sampler::{CacheSample, CacheSampler, MAX_DIRTY_BUCKET};
+pub use shard::{ShardLoadStats, ShardedRunReport, ShardedSsd};
 pub use ssd::Ssd;
 
 pub use tpftl_core::Result;

@@ -16,6 +16,7 @@
 //!   skewed temporal locality, verified by the [`stats`] analyzer.
 
 mod request;
+mod shard;
 mod zipf;
 
 pub mod parse;
@@ -24,6 +25,7 @@ pub mod stats;
 pub mod synth;
 
 pub use request::{Dir, IoRequest};
+pub use shard::ShardSplitter;
 pub use stats::TraceStats;
 pub use synth::{Locality, SyntheticSpec};
 pub use zipf::ZipfRegions;

@@ -1,0 +1,187 @@
+//! Shard-aware request splitting for the multi-queue sharded engine.
+//!
+//! The sharded SSD engine partitions the logical page space across `N`
+//! shards (N a power of two) by the *low* LPN bits — page `p` belongs to
+//! shard `p & (N - 1)` — so sequential runs stripe round-robin across
+//! shards instead of landing on one. Within a shard, pages are renumbered
+//! densely: global page `p` becomes shard-local page `p >> log2(N)`.
+//!
+//! [`ShardSplitter`] routes whole [`IoRequest`]s under that partition: a
+//! multi-page request is split into at most one sub-request per shard, and
+//! because the shard's pages form an arithmetic progression of stride `N`,
+//! each sub-request covers a *contiguous* shard-local page range. With
+//! `N = 1` the single sub-request covers exactly the original request's
+//! pages, which is what makes the one-shard engine bit-identical to the
+//! single-queue simulator.
+
+use crate::IoRequest;
+
+/// Routes logical pages and I/O requests onto `N` LPN-partitioned shards.
+///
+/// # Examples
+///
+/// ```
+/// use tpftl_trace::{Dir, IoRequest, ShardSplitter};
+///
+/// let splitter = ShardSplitter::new(4, 4096);
+/// // Pages 5..=10 stripe over all four shards.
+/// let req = IoRequest::new(0.0, 5 * 4096, 6 * 4096, Dir::Write);
+/// let mut parts = Vec::new();
+/// splitter.split(&req, |shard, sub| parts.push((shard, sub.page_count(4096))));
+/// // Six pages over four shards: two shards own two pages, two own one.
+/// assert_eq!(parts.iter().map(|&(_, c)| c).sum::<usize>(), 6);
+/// assert_eq!(parts.len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSplitter {
+    shards: u32,
+    shard_bits: u32,
+    page_bytes: u64,
+}
+
+impl ShardSplitter {
+    /// Creates a splitter over `shards` shards of `page_bytes` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `shards` is a nonzero power of two (the routing is a
+    /// mask of the low LPN bits) and `page_bytes` is nonzero.
+    pub fn new(shards: u32, page_bytes: u64) -> Self {
+        assert!(
+            shards.is_power_of_two(),
+            "shard count must be a power of two, got {shards}"
+        );
+        assert!(page_bytes > 0, "page size must be nonzero");
+        Self {
+            shards,
+            shard_bits: shards.trailing_zeros(),
+            page_bytes,
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard owning global logical page `page`.
+    #[inline]
+    pub fn shard_of(&self, page: u64) -> u32 {
+        (page & (self.shards as u64 - 1)) as u32
+    }
+
+    /// Shard-local page number of global page `page` (within
+    /// [`ShardSplitter::shard_of`]`(page)`).
+    #[inline]
+    pub fn local_page(&self, page: u64) -> u64 {
+        page >> self.shard_bits
+    }
+
+    /// Inverse of the partition: the global page for `local` on `shard`.
+    #[inline]
+    pub fn global_page(&self, shard: u32, local: u64) -> u64 {
+        (local << self.shard_bits) | shard as u64
+    }
+
+    /// Splits `req` by shard, calling `emit(shard, sub_request)` once per
+    /// shard that owns at least one of the request's pages, in ascending
+    /// shard order. Each sub-request is page-aligned in its shard's local
+    /// address space, covers exactly the request's pages owned by that
+    /// shard, and inherits the arrival time and direction.
+    pub fn split<E: FnMut(u32, IoRequest)>(&self, req: &IoRequest, mut emit: E) {
+        let n = self.shards as u64;
+        let first = req.offset / self.page_bytes;
+        let last = (req.end() - 1) / self.page_bytes;
+        for shard in 0..n {
+            // First page >= `first` owned by this shard.
+            let shard_first = first + ((shard + n - (first % n)) % n);
+            if shard_first > last {
+                continue;
+            }
+            let count = (last - shard_first) / n + 1;
+            let local_first = self.local_page(shard_first);
+            emit(
+                shard as u32,
+                IoRequest::new(
+                    req.arrival_us,
+                    local_first * self.page_bytes,
+                    (count * self.page_bytes) as u32,
+                    req.dir,
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dir;
+
+    const PAGE: u64 = 4096;
+
+    #[test]
+    fn routing_is_low_bits() {
+        let s = ShardSplitter::new(4, PAGE);
+        assert_eq!(s.shard_of(0), 0);
+        assert_eq!(s.shard_of(5), 1);
+        assert_eq!(s.shard_of(7), 3);
+        assert_eq!(s.local_page(7), 1);
+        assert_eq!(s.global_page(3, 1), 7);
+        for p in 0..64u64 {
+            assert_eq!(s.global_page(s.shard_of(p), s.local_page(p)), p);
+        }
+    }
+
+    #[test]
+    fn single_shard_is_identity_on_pages() {
+        let s = ShardSplitter::new(1, PAGE);
+        // Unaligned request straddling pages 0 and 1.
+        let req = IoRequest::new(3.5, 4095, 2, Dir::Read);
+        let mut parts = Vec::new();
+        s.split(&req, |shard, sub| parts.push((shard, sub)));
+        assert_eq!(parts.len(), 1);
+        let (shard, sub) = parts[0];
+        assert_eq!(shard, 0);
+        assert_eq!(sub.arrival_us, 3.5);
+        assert_eq!(sub.dir, Dir::Read);
+        assert_eq!(
+            sub.pages(PAGE).collect::<Vec<_>>(),
+            req.pages(PAGE).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn multi_page_request_stripes_contiguously() {
+        let s = ShardSplitter::new(4, PAGE);
+        // Pages 6..=13: shard 0 gets {8,12}, 1 gets {9,13}, 2 gets {6,10},
+        // 3 gets {7,11} — locally contiguous ranges in every case.
+        let req = IoRequest::new(0.0, 6 * PAGE, 8 * PAGE as u32, Dir::Write);
+        let mut got = vec![None; 4];
+        s.split(&req, |shard, sub| {
+            got[shard as usize] = Some(sub.pages(PAGE).collect::<Vec<_>>());
+        });
+        assert_eq!(got[0].take().unwrap(), vec![2, 3]); // global 8, 12
+        assert_eq!(got[1].take().unwrap(), vec![2, 3]); // global 9, 13
+        assert_eq!(got[2].take().unwrap(), vec![1, 2]); // global 6, 10
+        assert_eq!(got[3].take().unwrap(), vec![1, 2]); // global 7, 11
+    }
+
+    #[test]
+    fn small_request_skips_unowned_shards() {
+        let s = ShardSplitter::new(8, PAGE);
+        let req = IoRequest::new(0.0, 13 * PAGE, PAGE as u32, Dir::Read);
+        let mut parts = Vec::new();
+        s.split(&req, |shard, sub| parts.push((shard, sub)));
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].0, 5); // 13 & 7
+        assert_eq!(parts[0].1.pages(PAGE).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_shards_panic() {
+        let _ = ShardSplitter::new(3, PAGE);
+    }
+}

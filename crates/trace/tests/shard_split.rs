@@ -1,0 +1,84 @@
+//! Property test: the LPN→shard mapping is a partition of the page space,
+//! and [`ShardSplitter::split`] conserves it — every page of a request
+//! lands on exactly one shard, as exactly one shard-local page, and maps
+//! back to the original global page.
+
+use tpftl_rng::Rng64;
+use tpftl_trace::{Dir, IoRequest, ShardSplitter};
+
+const PAGE: u64 = 4096;
+
+/// Every page in `0..pages` belongs to exactly one shard, and the
+/// (shard, local) renumbering is a bijection onto `0..pages`.
+#[test]
+fn lpn_to_shard_is_a_partition() {
+    for shards in [1u32, 2, 4, 8, 32] {
+        let s = ShardSplitter::new(shards, PAGE);
+        let pages = 4096u64;
+        let mut seen = vec![false; pages as usize];
+        for shard in 0..shards {
+            for local in 0..pages / shards as u64 {
+                let global = s.global_page(shard, local);
+                assert!(global < pages, "{shards} shards: page {global} escaped");
+                assert!(
+                    !seen[global as usize],
+                    "{shards} shards: page {global} owned twice"
+                );
+                seen[global as usize] = true;
+                assert_eq!(s.shard_of(global), shard);
+                assert_eq!(s.local_page(global), local);
+            }
+        }
+        assert!(
+            seen.iter().all(|&v| v),
+            "{shards} shards: some page unowned"
+        );
+    }
+}
+
+/// Splitting random requests (aligned and unaligned, 1..64 pages) loses
+/// no page, duplicates no page, and keeps arrival/direction intact; each
+/// shard receives at most one contiguous sub-request.
+#[test]
+fn split_conserves_every_page() {
+    let mut rng = Rng64::seed_from_u64(0xD15C);
+    for shards in [1u32, 2, 4, 8] {
+        let s = ShardSplitter::new(shards, PAGE);
+        for _ in 0..2_000 {
+            let offset = rng.below(1 << 30);
+            let len = rng.range_u64(1, 64 * PAGE) as u32;
+            let dir = if rng.gen_bool(0.5) {
+                Dir::Write
+            } else {
+                Dir::Read
+            };
+            let req = IoRequest::new(rng.next_f64() * 1e6, offset, len, dir);
+
+            let mut emitted: Vec<u64> = Vec::new();
+            let mut per_shard_subs = vec![0u32; shards as usize];
+            s.split(&req, |shard, sub| {
+                per_shard_subs[shard as usize] += 1;
+                assert_eq!(sub.arrival_us, req.arrival_us);
+                assert_eq!(sub.dir, req.dir);
+                assert_eq!(sub.offset % PAGE, 0, "sub-requests are page-aligned");
+                for local in sub.pages(PAGE) {
+                    let global = s.global_page(shard, local);
+                    assert_eq!(s.shard_of(global), shard, "page routed to wrong shard");
+                    emitted.push(global);
+                }
+            });
+            assert!(
+                per_shard_subs.iter().all(|&c| c <= 1),
+                "a stride-N progression must stay one contiguous local range"
+            );
+
+            let mut expected: Vec<u64> = req.pages(PAGE).collect();
+            expected.sort_unstable();
+            emitted.sort_unstable();
+            assert_eq!(
+                emitted, expected,
+                "split of {req:?} over {shards} shards lost or duplicated pages"
+            );
+        }
+    }
+}
