@@ -11,8 +11,8 @@
 //!
 //! ```text
 //! bench-diff [--quick] [--baseline PATH] [--fresh PATH]
-//!            [--threshold PCT] [--filter SUBSTR] [--exclude SUBSTR]
-//!            [--shards LIST] [--out PATH]
+//!            [--threshold PCT] [--filter SUBSTR] [--exclude LIST]
+//!            [--shards LIST] [--channels LIST] [--update] [--out PATH]
 //! ```
 //!
 //! * `--quick`     — CI smoke sizing for the fresh run (fewer samples/ops).
@@ -22,10 +22,17 @@
 //! * `--threshold` — regression threshold in percent (default 15).
 //! * `--filter`    — restrict both sides to `scenario/ftl` ids containing
 //!   SUBSTR.
-//! * `--exclude`   — drop `scenario/ftl` ids containing SUBSTR from both
-//!   sides (for scenarios gated separately at a different threshold).
+//! * `--exclude`   — drop `scenario/ftl` ids containing any of the
+//!   comma-separated patterns from both sides (for scenarios gated
+//!   separately at a different threshold, e.g. `shard,chans`).
 //! * `--shards`    — shard counts for the fresh run's sharded-replay rows
 //!   (comma-separated powers of two; default `2,4`; `none` skips them).
+//! * `--channels`  — channel counts for the fresh run's channel-sweep
+//!   replay rows (`sweep` = `1,2,4,8`; default none).
+//! * `--update`    — instead of failing, rewrite the regressed and new
+//!   rows of the baseline file in place with their fresh measurements
+//!   (all other rows keep their committed bytes) and exit 0. Combine with
+//!   `--filter`/`--threshold` to refresh one stale row at a time.
 //! * `--out`       — diff report JSON path (default `bench_diff.json`).
 
 use serde_json::Value;
@@ -38,7 +45,31 @@ struct Opts {
     filter: Option<String>,
     exclude: Option<String>,
     shards: Vec<u32>,
+    channels: Vec<u32>,
+    update: bool,
     out: String,
+}
+
+fn parse_channels(raw: &str) -> Vec<u32> {
+    if raw == "none" {
+        return Vec::new();
+    }
+    if raw == "sweep" {
+        return tpftl_bench::SWEEP_CHANNEL_COUNTS.to_vec();
+    }
+    raw.split(',')
+        .map(|part| {
+            let n: u32 = part.trim().parse().unwrap_or_else(|_| {
+                eprintln!("--channels needs comma-separated numbers, got {part:?}");
+                std::process::exit(2);
+            });
+            if n == 0 {
+                eprintln!("--channels entries must be positive");
+                std::process::exit(2);
+            }
+            n
+        })
+        .collect()
 }
 
 fn parse_shards(raw: &str) -> Vec<u32> {
@@ -69,6 +100,8 @@ fn parse_opts() -> Opts {
         filter: None,
         exclude: None,
         shards: tpftl_bench::DEFAULT_SHARD_COUNTS.to_vec(),
+        channels: Vec::new(),
+        update: false,
         out: "bench_diff.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -93,13 +126,15 @@ fn parse_opts() -> Opts {
             "--filter" => opts.filter = Some(need(&mut args, "--filter")),
             "--exclude" => opts.exclude = Some(need(&mut args, "--exclude")),
             "--shards" => opts.shards = parse_shards(&need(&mut args, "--shards")),
+            "--channels" => opts.channels = parse_channels(&need(&mut args, "--channels")),
+            "--update" => opts.update = true,
             "--out" => opts.out = need(&mut args, "--out"),
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: bench-diff [--quick] [--baseline PATH] [--fresh PATH] \
-                     [--threshold PCT] [--filter SUBSTR] [--exclude SUBSTR] \
-                     [--shards LIST] [--out PATH]"
+                     [--threshold PCT] [--filter SUBSTR] [--exclude LIST] \
+                     [--shards LIST] [--channels LIST] [--update] [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -130,7 +165,12 @@ fn main() {
                 "running fresh benchmarks ({} mode)...",
                 if opts.quick { "quick" } else { "full" }
             );
-            let records = tpftl_bench::run_all(opts.quick, opts.filter.as_deref(), &opts.shards);
+            let records = tpftl_bench::run_all(
+                opts.quick,
+                opts.filter.as_deref(),
+                &opts.shards,
+                &opts.channels,
+            );
             tpftl_bench::render_json(&records, opts.quick)
         }
     };
@@ -156,6 +196,34 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("wrote {}", opts.out);
+
+    if opts.update {
+        let rewritten = report
+            .rows
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.status,
+                    tpftl_bench::diff::RowStatus::Regression | tpftl_bench::diff::RowStatus::New
+                )
+            })
+            .count();
+        let updated =
+            tpftl_bench::diff::apply_update(&baseline, &fresh, &report).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            });
+        let text = serde_json::to_string_pretty(&updated).expect("render JSON");
+        if let Err(e) = std::fs::write(&opts.baseline, text + "\n") {
+            eprintln!("error: cannot write {}: {e}", opts.baseline);
+            std::process::exit(1);
+        }
+        eprintln!(
+            "updated {} ({rewritten} row(s) rewritten from the fresh run)",
+            opts.baseline
+        );
+        return;
+    }
 
     if report.has_failure() {
         eprintln!(

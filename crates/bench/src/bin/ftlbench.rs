@@ -8,20 +8,47 @@
 //! Usage:
 //!
 //! ```text
-//! ftlbench [--quick] [--filter SUBSTR] [--shards LIST] [--out PATH]
+//! ftlbench [--quick] [--filter SUBSTR] [--shards LIST] [--channels LIST]
+//!          [--out PATH]
 //! ```
 //!
-//! * `--quick`  — fewer samples/ops; the CI smoke configuration.
-//! * `--filter` — run only scenarios whose `scenario/ftl` id contains SUBSTR.
-//! * `--shards` — comma-separated shard counts for the sharded-replay rows
-//!   (powers of two; default `2,4`; `none` skips them).
-//! * `--out`    — JSON output path (default `BENCH_ftl.json`).
+//! * `--quick`    — fewer samples/ops; the CI smoke configuration.
+//! * `--filter`   — run only scenarios whose `scenario/ftl` id contains
+//!   SUBSTR.
+//! * `--shards`   — comma-separated shard counts for the sharded-replay
+//!   rows (powers of two; default `2,4`; `none` skips them).
+//! * `--channels` — channel counts for the channel-scaling replay rows
+//!   (all five FTLs per count; `sweep` = `1,2,4,8`; default none).
+//! * `--out`      — JSON output path (default `BENCH_ftl.json`).
 
 struct Opts {
     quick: bool,
     filter: Option<String>,
     shards: Vec<u32>,
+    channels: Vec<u32>,
     out: String,
+}
+
+fn parse_channels(raw: &str) -> Vec<u32> {
+    if raw == "none" {
+        return Vec::new();
+    }
+    if raw == "sweep" {
+        return tpftl_bench::SWEEP_CHANNEL_COUNTS.to_vec();
+    }
+    raw.split(',')
+        .map(|part| {
+            let n: u32 = part.trim().parse().unwrap_or_else(|_| {
+                eprintln!("--channels needs comma-separated numbers, got {part:?}");
+                std::process::exit(2);
+            });
+            if n == 0 {
+                eprintln!("--channels entries must be positive");
+                std::process::exit(2);
+            }
+            n
+        })
+        .collect()
 }
 
 fn parse_shards(raw: &str) -> Vec<u32> {
@@ -48,6 +75,7 @@ fn parse_opts() -> Opts {
         quick: false,
         filter: None,
         shards: tpftl_bench::DEFAULT_SHARD_COUNTS.to_vec(),
+        channels: Vec::new(),
         out: "BENCH_ftl.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -62,11 +90,13 @@ fn parse_opts() -> Opts {
             "--quick" => opts.quick = true,
             "--filter" => opts.filter = args.next(),
             "--shards" => opts.shards = parse_shards(&need(&mut args, "--shards")),
+            "--channels" => opts.channels = parse_channels(&need(&mut args, "--channels")),
             "--out" => opts.out = need(&mut args, "--out"),
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
-                    "usage: ftlbench [--quick] [--filter SUBSTR] [--shards LIST] [--out PATH]"
+                    "usage: ftlbench [--quick] [--filter SUBSTR] [--shards LIST] \
+                     [--channels LIST] [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -77,7 +107,12 @@ fn parse_opts() -> Opts {
 
 fn main() {
     let opts = parse_opts();
-    let records = tpftl_bench::run_all(opts.quick, opts.filter.as_deref(), &opts.shards);
+    let records = tpftl_bench::run_all(
+        opts.quick,
+        opts.filter.as_deref(),
+        &opts.shards,
+        &opts.channels,
+    );
     tpftl_bench::print_table(&records);
     let json = tpftl_bench::render_json(&records, opts.quick);
     let text = serde_json::to_string_pretty(&json).expect("render JSON");

@@ -180,12 +180,13 @@ pub fn diff_reports(
     )
 }
 
-/// [`diff_reports`] with an exclusion pattern and explicit document labels
+/// [`diff_reports`] with an exclusion list and explicit document labels
 /// (typically file paths) so errors name the offending report. `exclude`
-/// drops rows whose `scenario/ftl` id contains it from *both* sides — for
-/// scenarios gated separately (e.g. the sharded-replay rows, whose wall
-/// clock on an oversubscribed CI runner is too noisy for the strict
-/// threshold that the single-queue rows hold).
+/// is a comma-separated list of patterns; a row whose `scenario/ftl` id
+/// contains any of them is dropped from *both* sides — for scenarios
+/// gated separately (e.g. `shard,chans`: the sharded-replay and
+/// channel-sweep rows, whose wall clock on an oversubscribed CI runner is
+/// too noisy for the strict threshold that the single-queue rows hold).
 pub fn diff_reports_named(
     baseline: &Value,
     fresh: &Value,
@@ -197,7 +198,12 @@ pub fn diff_reports_named(
 ) -> Result<DiffReport, String> {
     let keep = |key: &(String, String)| {
         let id = format!("{}/{}", key.0, key.1);
-        filter.is_none_or(|f| id.contains(f)) && !exclude.is_some_and(|e| id.contains(e))
+        filter.is_none_or(|f| id.contains(f))
+            && !exclude.is_some_and(|list| {
+                list.split(',')
+                    .map(str::trim)
+                    .any(|pat| !pat.is_empty() && id.contains(pat))
+            })
     };
     let base: Vec<_> = index_report(baseline, baseline_name)?
         .into_iter()
@@ -251,6 +257,73 @@ pub fn diff_reports_named(
         threshold_pct,
         rows,
     })
+}
+
+/// The `(scenario, ftl)` key of one result record, if it has both fields.
+fn record_key(record: &Value) -> Option<(&str, &str)> {
+    Some((
+        record.get("scenario")?.as_str()?,
+        record.get("ftl")?.as_str()?,
+    ))
+}
+
+/// Implements `bench-diff --update`: returns a copy of `baseline` in which
+/// every row the diff flagged `Regression` or `New` is replaced by (or, for
+/// new rows, appended from) its full fresh record. Rows the diff left `Ok`
+/// — and rows it never saw because of `--filter`/`--exclude` — keep their
+/// baseline values untouched, so refreshing one drifted row does not churn
+/// the rest of the committed baseline. Refreshing a below-threshold drift
+/// is a matter of tightening `--threshold` (and usually `--filter`) until
+/// the stale row regresses.
+pub fn apply_update(baseline: &Value, fresh: &Value, report: &DiffReport) -> Result<Value, String> {
+    let stale: Vec<(&str, &str)> = report
+        .rows
+        .iter()
+        .filter(|r| matches!(r.status, RowStatus::Regression | RowStatus::New))
+        .map(|r| (r.scenario.as_str(), r.ftl.as_str()))
+        .collect();
+    let fresh_results = fresh
+        .get("results")
+        .and_then(Value::as_array)
+        .ok_or("fresh report has no `results` array")?;
+    let fresh_record = |key: (&str, &str)| {
+        fresh_results
+            .iter()
+            .find(|r| record_key(r) == Some(key))
+            .cloned()
+            .ok_or_else(|| format!("fresh report lost row {}/{}", key.0, key.1))
+    };
+
+    let Value::Object(fields) = baseline else {
+        return Err("baseline report is not an object".to_string());
+    };
+    let mut updated = Vec::with_capacity(fields.len());
+    for (name, value) in fields {
+        if name != "results" {
+            updated.push((name.clone(), value.clone()));
+            continue;
+        }
+        let records = value
+            .as_array()
+            .ok_or("baseline `results` is not an array")?;
+        let mut new_records = Vec::with_capacity(records.len());
+        for record in records {
+            match record_key(record) {
+                Some(key) if stale.contains(&key) => new_records.push(fresh_record(key)?),
+                _ => new_records.push(record.clone()),
+            }
+        }
+        // Brand-new rows (no baseline counterpart) append in fresh order.
+        for record in fresh_results {
+            if let Some(key) = record_key(record) {
+                if stale.contains(&key) && !records.iter().any(|r| record_key(r) == Some(key)) {
+                    new_records.push(record.clone());
+                }
+            }
+        }
+        updated.push((name.clone(), Value::Array(new_records)));
+    }
+    Ok(Value::Object(updated))
 }
 
 #[cfg(test)]
@@ -336,6 +409,46 @@ mod tests {
         assert!(!d.has_failure());
         assert_eq!(d.rows.len(), 1);
         assert_eq!(d.rows[0].scenario, "a");
+    }
+
+    #[test]
+    fn exclude_takes_a_comma_separated_list() {
+        let base = report(&[("a", "x", 100.0), ("a_shards4", "x", 100.0)]);
+        let fresh = report(&[
+            ("a", "x", 101.0),
+            ("a_shards4", "x", 300.0),     // excluded via "shards"
+            ("replay_chans4", "x", 300.0), // excluded via "chans"
+        ]);
+        let d =
+            diff_reports_named(&base, &fresh, 15.0, None, Some("shards,chans"), "b", "f").unwrap();
+        assert!(!d.has_failure());
+        assert_eq!(d.rows.len(), 1);
+        assert_eq!(d.rows[0].scenario, "a");
+    }
+
+    #[test]
+    fn update_rewrites_only_regressed_and_new_rows() {
+        let base = report(&[
+            ("a", "x", 100.0), // drifts +50%: rewritten
+            ("b", "x", 80.0),  // within threshold: kept byte for byte
+        ]);
+        let fresh = report(&[
+            ("a", "x", 150.0),
+            ("b", "x", 85.0),
+            ("c", "x", 10.0), // new: appended
+        ]);
+        let d = diff_reports(&base, &fresh, 15.0, None).unwrap();
+        let updated = apply_update(&base, &fresh, &d).unwrap();
+        let rows = updated.get("results").unwrap().as_array().unwrap();
+        let ns = |i: usize| rows[i].get("ns_per_op").unwrap().as_f64().unwrap();
+        let scenario = |i: usize| rows[i].get("scenario").unwrap().as_str().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!((scenario(0), ns(0)), ("a", 150.0));
+        assert_eq!((scenario(1), ns(1)), ("b", 80.0), "ok row untouched");
+        assert_eq!((scenario(2), ns(2)), ("c", 10.0), "new row appended");
+        // The updated baseline passes the gate against the same fresh run.
+        let regate = diff_reports(&updated, &fresh, 15.0, None).unwrap();
+        assert!(!regate.has_failure());
     }
 
     #[test]

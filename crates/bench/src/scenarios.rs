@@ -9,7 +9,7 @@ use tpftl_core::env::SsdEnv;
 use tpftl_core::ftl::{AccessCtx, Ftl};
 use tpftl_core::SsdConfig;
 use tpftl_experiments::runner::{device_config, FtlKind, SEED};
-use tpftl_flash::{Flash, FlashGeometry, OpPurpose};
+use tpftl_flash::{Flash, FlashGeometry, FlashTopology, OpPurpose};
 use tpftl_sim::{ShardedSsd, Ssd};
 use tpftl_trace::presets::Workload;
 use tpftl_trace::SyntheticSpec;
@@ -19,6 +19,11 @@ pub const KINDS: [FtlKind; 4] = [FtlKind::Tpftl, FtlKind::Dftl, FtlKind::Sftl, F
 
 /// Shard counts benchmarked by default (`ftlbench` with no `--shards`).
 pub const DEFAULT_SHARD_COUNTS: [u32; 2] = [2, 4];
+
+/// Channel counts of the committed channel-scaling sweep
+/// (`ftlbench --channels sweep`). No channel rows run by default: the
+/// sweep re-replays the macro trace once per (FTL, channel count).
+pub const SWEEP_CHANNEL_COUNTS: [u32; 4] = [1, 2, 4, 8];
 
 /// One timed record, already reduced over its samples.
 pub struct Record {
@@ -180,6 +185,7 @@ pub fn bench_gc_valid_scan(warmup: usize, samples: usize) -> Record {
         read_us: 25.0,
         write_us: 200.0,
         erase_us: 1500.0,
+        topology: FlashTopology::default(),
     };
     let num_blocks = geom.num_blocks;
     let total_pages = (geom.num_blocks * geom.pages_per_block) as u64;
@@ -248,6 +254,50 @@ pub fn bench_replay(kind: FtlKind, samples: usize, requests: usize) -> Record {
                 "translation_writes",
                 Value::UInt(report.translation_writes()),
             ),
+        ],
+    }
+}
+
+/// Macro replay across flash topologies: the Financial1 trace on a device
+/// with `channels` channels (one way each, no bus overhead, so the
+/// 1-channel row is directly comparable to the serial model). The wall
+/// clock is secondary here; the row's payload is the *simulated* timing —
+/// device time, makespan and response percentiles from the unit-clock
+/// model — which must improve monotonically as channels are added.
+pub fn bench_replay_channels(
+    kind: FtlKind,
+    samples: usize,
+    requests: usize,
+    channels: u32,
+) -> Record {
+    let workload = Workload::Financial1;
+    let mut config = device_config(workload);
+    config.topology.channels = channels;
+    let spec = workload.spec(requests);
+    let mut ns = Vec::new();
+    let mut last = None;
+    for _ in 0..samples {
+        let ftl = kind.build(&config).expect("FTL builds");
+        let mut ssd = Ssd::new(ftl, config.clone()).expect("ssd builds");
+        let t = Instant::now();
+        let report = ssd.run(spec.iter(SEED)).expect("replay");
+        ns.push(t.elapsed().as_nanos() as f64 / requests as f64);
+        last = Some(report);
+    }
+    let report = last.expect("at least one sample");
+    Record {
+        scenario: format!("replay_financial1_chans{channels}"),
+        ftl: kind.build(&config).expect("FTL builds").name(),
+        ops_per_iter: requests as u64,
+        samples: ns,
+        extra: vec![
+            ("channels", Value::UInt(channels as u64)),
+            ("hit_ratio", Value::Float(report.hit_ratio())),
+            ("sim_device_us", Value::Float(report.sim.device_us)),
+            ("sim_makespan_us", Value::Float(report.sim.makespan_us)),
+            ("sim_resp_avg_us", Value::Float(report.sim.resp_avg_us)),
+            ("sim_resp_p50_us", Value::Float(report.sim.resp_p50_us)),
+            ("sim_resp_p99_us", Value::Float(report.sim.resp_p99_us)),
         ],
     }
 }
@@ -336,8 +386,16 @@ pub fn bench_sharded_write_gc(shards: u32, samples: usize, requests: usize) -> R
 /// contains it — non-matching scenarios are skipped, not run-and-hidden,
 /// so a filtered invocation is proportionally fast (and profileable).
 /// `shard_counts` selects which sharded-replay rows to run (TPFTL only;
-/// pass `&[]` to skip the sharded scenarios entirely).
-pub fn run_all(quick: bool, filter: Option<&str>, shard_counts: &[u32]) -> Vec<Record> {
+/// pass `&[]` to skip the sharded scenarios entirely). `channel_counts`
+/// selects the channel-scaling replay rows (all five FTLs including
+/// Optimal, per channel count; `&[]` — the default CLI behaviour — skips
+/// them).
+pub fn run_all(
+    quick: bool,
+    filter: Option<&str>,
+    shard_counts: &[u32],
+    channel_counts: &[u32],
+) -> Vec<Record> {
     let (warmup, samples) = if quick { (1, 3) } else { (3, 9) };
     let (hit_ops, miss_ops, write_ops) = if quick {
         (1024, 128, 256)
@@ -394,6 +452,25 @@ pub fn run_all(quick: bool, filter: Option<&str>, shard_counts: &[u32]) -> Vec<R
                 samples.min(3),
                 gc_requests,
             ));
+        }
+    }
+    for &channels in channel_counts {
+        let label = format!("replay_financial1_chans{channels}");
+        for (kind, name) in [
+            (FtlKind::Tpftl, "TPFTL(rsbc)"),
+            (FtlKind::Dftl, "DFTL"),
+            (FtlKind::Sftl, "S-FTL"),
+            (FtlKind::Cdftl, "CDFTL"),
+            (FtlKind::Optimal, "Optimal"),
+        ] {
+            if wanted(&label, name) {
+                records.push(bench_replay_channels(
+                    kind,
+                    samples.min(3),
+                    replay_requests,
+                    channels,
+                ));
+            }
         }
     }
     records

@@ -468,7 +468,7 @@ impl BlockManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tpftl_flash::{FlashGeometry, OpPurpose};
+    use tpftl_flash::{FlashGeometry, FlashTopology, OpPurpose};
 
     fn flash4() -> Flash {
         Flash::new(FlashGeometry {
@@ -478,6 +478,7 @@ mod tests {
             read_us: 25.0,
             write_us: 200.0,
             erase_us: 1500.0,
+            topology: FlashTopology::default(),
         })
         .unwrap()
     }
@@ -585,6 +586,7 @@ mod tests {
             read_us: 25.0,
             write_us: 200.0,
             erase_us: 1500.0,
+            topology: FlashTopology::default(),
         })
         .unwrap();
         let mut mgr = BlockManager::new(n + 1, 4);
@@ -654,6 +656,7 @@ mod tests {
             read_us: 25.0,
             write_us: 200.0,
             erase_us: 1500.0,
+            topology: FlashTopology::default(),
         })
         .unwrap();
         let mut mgr = BlockManager::new(4, 4);
@@ -686,6 +689,7 @@ mod tests {
             read_us: 25.0,
             write_us: 200.0,
             erase_us: 1500.0,
+            topology: FlashTopology::default(),
         })
         .unwrap();
         let mut mgr = BlockManager::new(6, 4);
@@ -716,6 +720,7 @@ mod tests {
             read_us: 25.0,
             write_us: 200.0,
             erase_us: 1500.0,
+            topology: FlashTopology::default(),
         })
         .unwrap();
         let mut mgr = BlockManager::new(6, 4);
@@ -876,6 +881,7 @@ mod tests {
                     read_us: 25.0,
                     write_us: 200.0,
                     erase_us: 1500.0,
+                    topology: FlashTopology::default(),
                 })
                 .unwrap();
                 let mut mgr = BlockManager::new(N_BLOCKS, PPB);

@@ -7,7 +7,7 @@
 //! Financial configuration; 256 KB + 16 KB for the 16 GB MSR one).
 
 use serde::{Deserialize, Serialize};
-use tpftl_flash::FlashGeometry;
+use tpftl_flash::{FlashGeometry, FlashTopology};
 
 /// Garbage-collection victim-selection policy (Section 2.3 of the paper
 /// surveys GC-policy and wear-leveling work; the paper itself uses greedy).
@@ -51,6 +51,10 @@ pub struct SsdConfig {
     /// GC victim-selection policy (the paper uses greedy).
     #[serde(default)]
     pub gc_policy: GcPolicy,
+    /// Channel/way parallelism of the flash array (defaults to the serial
+    /// single-unit device, which reproduces the old timing bit for bit).
+    #[serde(default)]
+    pub topology: FlashTopology,
 }
 
 impl SsdConfig {
@@ -78,6 +82,7 @@ impl SsdConfig {
             gc_high_blocks: 0,
             prefill_frac: 0.0,
             gc_policy: GcPolicy::Greedy,
+            topology: FlashTopology::default(),
         };
         cfg.cache_bytes = cfg.paper_cache_bytes();
         // Watermarks scale with the device so that small test devices do
@@ -92,9 +97,11 @@ impl SsdConfig {
         cfg
     }
 
-    /// Flash geometry per Table 3.
+    /// Flash geometry per Table 3, with this config's channel/way topology.
     pub fn geometry(&self) -> FlashGeometry {
-        FlashGeometry::paper_default(self.logical_bytes, self.over_provision)
+        let mut geom = FlashGeometry::paper_default(self.logical_bytes, self.over_provision);
+        geom.topology = self.topology;
+        geom
     }
 
     /// Number of host-visible 4 KB pages.
@@ -206,6 +213,7 @@ impl SsdConfig {
             gc_high_blocks: 0,
             prefill_frac: self.prefill_frac,
             gc_policy: self.gc_policy,
+            topology: self.topology,
         };
         let blocks = cfg.geometry().num_blocks;
         cfg.gc_low_blocks = (blocks / 300).clamp(2, 8);
@@ -266,6 +274,7 @@ mod tests {
         assert_eq!(part.num_vtpns() * 4, whole.num_vtpns());
         assert_eq!(part.over_provision, whole.over_provision);
         assert_eq!(part.gc_policy, whole.gc_policy);
+        assert_eq!(part.topology, whole.topology);
         // Watermarks follow the paper_default rule on the shard geometry.
         let blocks = part.geometry().num_blocks;
         assert_eq!(part.gc_low_blocks, (blocks / 300).clamp(2, 8));
@@ -299,5 +308,23 @@ mod tests {
     #[should_panic(expected = "cannot split")]
     fn shard_config_rejects_unsupported_counts() {
         let _ = SsdConfig::paper_default(4 << 20).shard_config(2);
+    }
+
+    #[test]
+    fn topology_threads_into_geometry_and_shards() {
+        let mut cfg = SsdConfig::paper_default(512 << 20);
+        assert_eq!(cfg.geometry().topology, FlashTopology::default());
+        cfg.topology = FlashTopology {
+            channels: 4,
+            ways: 2,
+            bus_us: 10.0,
+        };
+        assert_eq!(cfg.geometry().topology.units(), 8);
+        // Shards inherit the whole device's per-shard parallelism verbatim.
+        assert_eq!(cfg.shard_config(4).topology, cfg.topology);
+        // Old serialized configs (no topology key) load as serial devices.
+        let json = serde_json::to_string(&SsdConfig::paper_default(512 << 20)).unwrap();
+        let back: SsdConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.topology, FlashTopology::default());
     }
 }

@@ -129,6 +129,21 @@ impl SsdEnv {
         &self.flash
     }
 
+    /// Current dependency frontier of the simulated device clock (see
+    /// [`Flash::sim_frontier_us`]).
+    #[inline]
+    pub fn sim_frontier_us(&self) -> f64 {
+        self.flash.sim_frontier_us()
+    }
+
+    /// Declares that upcoming flash ops depend only on ops completed by
+    /// `t` (see [`Flash::sim_relax_to`]). The simulator uses this to let
+    /// the pages of one host request overlap on independent units.
+    #[inline]
+    pub fn sim_relax_to(&mut self, t: f64) {
+        self.flash.sim_relax_to(t);
+    }
+
     /// Read-only access to the translation directory.
     pub fn gtd(&self) -> &Gtd {
         &self.gtd
@@ -308,6 +323,22 @@ impl SsdEnv {
         updates: &[(u16, Ppn)],
         purpose: OpPurpose,
     ) -> Result<()> {
+        // A translation writeback is a fire-and-forget persist: the mapping
+        // lives on in RAM, so nothing the host does next waits for it. The
+        // frontier is restored after the RMW; later ops touching the same
+        // flash unit still serialize behind it through the unit clock.
+        let fence = self.flash.sim_frontier_us();
+        let res = self.update_translation_page_inner(vtpn, updates, purpose);
+        self.flash.sim_relax_to(fence);
+        res
+    }
+
+    fn update_translation_page_inner(
+        &mut self,
+        vtpn: Vtpn,
+        updates: &[(u16, Ppn)],
+        purpose: OpPurpose,
+    ) -> Result<()> {
         match self.gtd.get(vtpn) {
             Some(old) => {
                 // Accounts the `T_fr` read half and validates the source.
@@ -354,9 +385,13 @@ impl SsdEnv {
         payload: &[Ppn],
         purpose: OpPurpose,
     ) -> Result<()> {
+        // Fire-and-forget persist, like `update_translation_page`.
+        let fence = self.flash.sim_frontier_us();
         let old = self.gtd.get(vtpn);
         // Program-before-invalidate, as in `update_translation_page`.
-        self.program_translation(vtpn, payload, purpose)?;
+        let res = self.program_translation(vtpn, payload, purpose);
+        self.flash.sim_relax_to(fence);
+        res?;
         if let Some(old) = old {
             self.invalidate_page(old)?;
         }

@@ -67,12 +67,22 @@ fn migrate_data_pages<F: Ftl + ?Sized>(
     env.gc_stats.data_victims += 1;
     env.gc_stats.data_pages_migrated += valid.len() as u64;
 
+    // Each migration (read + program of one page) depends only on GC
+    // start, not on the previous migration: reads all queue on the victim's
+    // unit, but the programs land on other units and overlap. The erase
+    // must still wait for every migration to finish (no instant where a
+    // page's data exists nowhere), so the frontier is advanced to the
+    // latest migration before it issues.
     moved.clear();
+    let fence = env.flash.sim_frontier_us();
+    let mut gc_done = fence;
     for &(old_ppn, lpn) in valid.iter() {
+        env.flash.sim_relax_to(fence);
         env.flash.read_page(old_ppn, OpPurpose::GcData)?;
         let new_ppn = env.program_data_page(lpn, OpPurpose::GcData)?;
         env.invalidate_page(old_ppn)?;
         moved.push((lpn, new_ppn));
+        gc_done = gc_done.max(env.flash.sim_frontier_us());
     }
 
     // Mapping updates: cache hits are absorbed (and deferred as dirty
@@ -81,6 +91,8 @@ fn migrate_data_pages<F: Ftl + ?Sized>(
     env.stats.gc_updates += moved.len() as u64;
     env.stats.gc_hits += hits;
 
+    env.flash
+        .sim_relax_to(gc_done.max(env.flash.sim_frontier_us()));
     env.flash.erase_block(victim, OpPurpose::GcData)?;
     env.blocks.on_erased(victim);
     Ok(())
@@ -103,7 +115,11 @@ fn migrate_translation_pages(
     env.gc_stats.trans_victims += 1;
     env.gc_stats.trans_pages_migrated += valid.len() as u64;
 
+    // Migrations are mutually independent, like the data-page path above.
+    let fence = env.flash.sim_frontier_us();
+    let mut gc_done = fence;
     for &(old_ppn, vtpn) in valid.iter() {
+        env.flash.sim_relax_to(fence);
         // Accounts the migration read and validates the source page.
         env.flash.read_page(old_ppn, OpPurpose::GcTranslation)?;
         // Program the copy before invalidating the original (as the
@@ -121,8 +137,10 @@ fn migrate_translation_pages(
         )?;
         env.gtd.set(vtpn, new_ppn);
         env.invalidate_page(old_ppn)?;
+        gc_done = gc_done.max(env.flash.sim_frontier_us());
     }
 
+    env.flash.sim_relax_to(gc_done);
     env.flash.erase_block(victim, OpPurpose::GcTranslation)?;
     env.blocks.on_erased(victim);
     Ok(())

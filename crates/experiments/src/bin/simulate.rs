@@ -15,6 +15,11 @@
 //!   --buffer PAGES      host write buffer size (default none)
 //!   --shards N          replay on the sharded multi-queue engine with N
 //!                       LPN-striped shards (power of two, default 1)
+//!   --channels N        flash channels for the unit-clock timing model
+//!                       (default 1; ops on distinct channels overlap)
+//!   --ways N            ways (dies) per channel                (default 1)
+//!   --bus-us F          channel bus transfer time per page in µs
+//!                       (default 0 = bus not modeled)
 //!   --json              emit the full RunReport as JSON
 //! ```
 
@@ -30,7 +35,7 @@ use tpftl_trace::{parse, IoRequest};
 const USAGE: &str = "usage: simulate [--ftl NAME] [--workload NAME | --trace FILE]
                 [--requests N] [--seed N] [--cache-bytes N | --cache-frac F]
                 [--prefill F] [--gc POLICY] [--buffer PAGES] [--shards N]
-                [--json]
+                [--channels N] [--ways N] [--bus-us F] [--json]
 run `simulate --help` for details";
 
 struct Options {
@@ -45,6 +50,9 @@ struct Options {
     gc: GcPolicy,
     buffer: usize,
     shards: u32,
+    channels: u32,
+    ways: u32,
+    bus_us: f64,
     json: bool,
 }
 
@@ -61,6 +69,9 @@ fn parse_args() -> Result<Options, String> {
         gc: GcPolicy::Greedy,
         buffer: 0,
         shards: 1,
+        channels: 1,
+        ways: 1,
+        bus_us: 0.0,
         json: false,
     };
     let mut args = std::env::args().skip(1);
@@ -115,6 +126,11 @@ fn parse_args() -> Result<Options, String> {
                     return Err(format!("--shards must be a power of two, got {}", o.shards));
                 }
             }
+            "--channels" => {
+                o.channels = value("--channels")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--ways" => o.ways = value("--ways")?.parse().map_err(|e| format!("{e}"))?,
+            "--bus-us" => o.bus_us = value("--bus-us")?.parse().map_err(|e| format!("{e}"))?,
             "--json" => o.json = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
@@ -217,6 +233,13 @@ fn main() -> ExitCode {
         _ => 0.0,
     });
     config.gc_policy = o.gc;
+    config.topology.channels = o.channels;
+    config.topology.ways = o.ways;
+    config.topology.bus_us = o.bus_us;
+    if let Err(e) = config.topology.validate() {
+        eprintln!("invalid topology: {e}");
+        return ExitCode::FAILURE;
+    }
 
     let spec = match parse_ftl(&o.ftl) {
         Ok(s) => s,
@@ -343,4 +366,17 @@ fn print_report(report: &tpftl_sim::RunReport, config: &tpftl_core::SsdConfig) {
     println!("write amplification: {:.3}", report.write_amplification());
     println!("block erases:        {}", report.erase_count());
     println!("avg response:        {:.1} us", report.avg_response_us);
+    let sim = &report.sim;
+    println!(
+        "topology:            {} channel(s) x {} way(s)",
+        sim.channels, sim.ways
+    );
+    println!(
+        "sim device time:     {:.1} us busy, makespan {:.1} us",
+        sim.device_us, sim.makespan_us
+    );
+    println!(
+        "sim response:        avg {:.1} / p50 {:.1} / p99 {:.1} us",
+        sim.resp_avg_us, sim.resp_p50_us, sim.resp_p99_us
+    );
 }

@@ -15,6 +15,14 @@ use tpftl_trace::presets::Workload;
 /// The TPFTL/Financial1 golden, shared with the sharded-engine test below.
 const TPFTL_FIN1_GOLDEN: &str = "TPFTL(rsbc) req=10000 lk=14046 hit=11654 rep=2137 drep=259 gcu=0 gch=0 upr=3012 upw=11034 tr=2651 tw=259 er=0 gcd=0 gcm=0 gct=0 gctm=0 ce=1212 cb=8192 resp=406f722c24b700d2";
 
+/// Unit-clock sim-timing goldens for the TPFTL/Financial1 case: the
+/// 1-channel row pins the serial reference model bit for bit; the 4x2 row
+/// pins the multi-unit overlap arithmetic.
+const SERIAL_SIM_GOLDEN: &str =
+    "ch=1 way=1 dev=41424fd780000000 mk=4181eeb3f03e2cd0 ravg=406f722c24b700d2 p50=192 p99=832";
+const WIDE_SIM_GOLDEN: &str =
+    "ch=4 way=2 dev=4141dc2b00000000 mk=4181eeb3f03e2cd0 ravg=406ea171c76b31ff p50=192 p99=768";
+
 /// A compact, exact fingerprint of everything the paper's figures measure.
 /// Response time is an f64 accumulation; its bits are captured exactly so
 /// even a reordering of floating-point adds is caught.
@@ -93,6 +101,55 @@ fn cases() -> Vec<(FtlKind, Workload, f64, &'static str)> {
         (FtlKind::Sftl, Workload::Financial1, 0.005, "S-FTL req=10000 lk=14046 hit=12567 rep=1983 drep=675 gcu=0 gch=0 upr=3012 upw=11034 tr=2013 tw=675 er=0 gcd=0 gcm=0 gct=0 gctm=0 ce=30816 cb=8040 resp=4070343cdd203e1b"),
         (FtlKind::Cdftl, Workload::Financial1, 0.005, "CDFTL req=10000 lk=14046 hit=10556 rep=7677 drep=5892 gcu=0 gch=0 upr=3012 upw=11034 tr=3490 tw=2635 er=0 gcd=0 gcm=0 gct=0 gctm=0 ce=1535 cb=8192 resp=40731bbedb14f735"),
     ]
+}
+
+/// Exact fingerprint of the unit-clock simulated timing: device time,
+/// makespan and mean response as f64 bits, percentiles as bucket edges.
+fn sim_fingerprint(r: &RunReport) -> String {
+    format!(
+        "ch={} way={} dev={:016x} mk={:016x} ravg={:016x} p50={} p99={}",
+        r.sim.channels,
+        r.sim.ways,
+        r.sim.device_us.to_bits(),
+        r.sim.makespan_us.to_bits(),
+        r.sim.resp_avg_us.to_bits(),
+        r.sim.resp_p50_us,
+        r.sim.resp_p99_us,
+    )
+}
+
+/// The 1-channel unit-clock timing is pinned bit-exactly (the serial
+/// reference), and a multi-unit topology must change *only* the simulated
+/// timing — never the op counters or the FIFO response metric — while
+/// improving device time.
+#[test]
+fn unit_clock_sim_timing_is_pinned_and_topology_neutral() {
+    let workload = Workload::Financial1;
+    let config = device_config(workload);
+    let serial = run_one(FtlKind::Tpftl, workload, Scale(0.005), &config).expect("run");
+    assert_eq!(fingerprint(&serial), TPFTL_FIN1_GOLDEN);
+    assert_eq!(
+        sim_fingerprint(&serial),
+        SERIAL_SIM_GOLDEN,
+        "1-channel unit-clock timing drifted from the recorded golden"
+    );
+
+    let mut wide_config = config.clone();
+    wide_config.topology.channels = 4;
+    wide_config.topology.ways = 2;
+    let wide = run_one(FtlKind::Tpftl, workload, Scale(0.005), &wide_config).expect("run");
+    assert_eq!(
+        fingerprint(&wide),
+        TPFTL_FIN1_GOLDEN,
+        "topology must not change op counts or the FIFO timing"
+    );
+    assert_eq!(
+        sim_fingerprint(&wide),
+        WIDE_SIM_GOLDEN,
+        "4x2 unit-clock timing drifted from the recorded golden"
+    );
+    assert!(wide.sim.device_us < serial.sim.device_us);
+    assert!(wide.sim.makespan_us <= serial.sim.makespan_us);
 }
 
 /// The sharded engine with one shard must be indistinguishable from the

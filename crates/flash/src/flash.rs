@@ -1,5 +1,6 @@
 //! The flash device model proper.
 
+use crate::timing::UnitClocks;
 use crate::tpslab::TpSlab;
 use crate::{
     BlockId, FaultPlan, FaultRecord, FlashError, FlashGeometry, FlashStats, OpKind, OpPurpose, Ppn,
@@ -70,6 +71,11 @@ pub struct Flash {
     next_seq: u64,
     faults: Option<FaultPlan>,
     stats: FlashStats,
+    /// Channel/way unit clocks (simulated time; see [`UnitClocks`]).
+    clocks: UnitClocks,
+    /// Cached `geom.topology.units()` so the hot path can skip the unit
+    /// computation entirely on the default serial topology.
+    units: usize,
 }
 
 impl Flash {
@@ -95,6 +101,8 @@ impl Flash {
             next_seq: 1,
             faults: None,
             stats: FlashStats::default(),
+            clocks: UnitClocks::new(&geom.topology),
+            units: geom.topology.units(),
             geom,
         })
     }
@@ -117,11 +125,53 @@ impl Flash {
         &self.stats
     }
 
-    /// Clears the operation statistics (op counts and busy time), leaving
-    /// device state and per-block wear counters untouched. Used after
-    /// formatting/pre-filling so measurements cover only the workload.
+    /// Clears the operation statistics (op counts and busy time) and
+    /// rewinds the simulated unit clocks to zero, leaving device state and
+    /// per-block wear counters untouched. Used after formatting/pre-filling
+    /// so measurements cover only the workload.
     pub fn reset_stats(&mut self) {
         self.stats = FlashStats::default();
+        self.clocks.reset();
+    }
+
+    // ---- Simulated-time clocks ----------------------------------------------
+
+    /// The unit this page's block is served by (0 on the serial topology).
+    #[inline]
+    fn unit_of(&self, ppn: Ppn) -> usize {
+        if self.units == 1 {
+            0
+        } else {
+            (self.geom.block_of(ppn) as usize) % self.units
+        }
+    }
+
+    /// The channel/way unit clocks (read-only view).
+    #[inline]
+    pub fn clocks(&self) -> &UnitClocks {
+        &self.clocks
+    }
+
+    /// Current dependency frontier of the simulated device clock: the
+    /// completion time of the last issued op chain, in microseconds.
+    #[inline]
+    pub fn sim_frontier_us(&self) -> f64 {
+        self.clocks.frontier_us()
+    }
+
+    /// Declares that the next flash ops depend only on ops completed by
+    /// `t`, allowing them to overlap later ops on other units. Per-unit
+    /// serialization still applies.
+    #[inline]
+    pub fn sim_relax_to(&mut self, t: f64) {
+        self.clocks.relax_to(t);
+    }
+
+    /// Completion time of the latest flash op in simulated microseconds
+    /// (device makespan since the last [`Flash::reset_stats`]).
+    #[inline]
+    pub fn sim_device_done_us(&self) -> f64 {
+        self.clocks.done_us()
     }
 
     // ---- Power-loss fault injection -----------------------------------------
@@ -256,6 +306,7 @@ impl Flash {
                     return Err(FlashError::PowerLoss); // non-destructive
                 }
                 self.stats.record(OpKind::Read, purpose, self.geom.read_us);
+                self.clocks.read(self.unit_of(ppn), self.geom.read_us);
                 Ok(PageInfo {
                     tag: self.tag[ppn as usize],
                     is_translation: self.tp.contains(ppn),
@@ -315,6 +366,12 @@ impl Flash {
         self.valid_count[block as usize] += 1;
         self.stats
             .record(OpKind::Write, purpose, self.geom.write_us);
+        let unit = if self.units == 1 {
+            0
+        } else {
+            (block as usize) % self.units
+        };
+        self.clocks.write(unit, self.geom.write_us);
         Ok(())
     }
 
@@ -358,6 +415,12 @@ impl Flash {
         self.valid_count[block as usize] += 1;
         self.stats
             .record(OpKind::Write, purpose, self.geom.write_us);
+        let unit = if self.units == 1 {
+            0
+        } else {
+            (block as usize) % self.units
+        };
+        self.clocks.write(unit, self.geom.write_us);
         Ok(())
     }
 
@@ -466,6 +529,12 @@ impl Flash {
         self.erase_count[block as usize] += 1;
         self.stats
             .record(OpKind::Erase, purpose, self.geom.erase_us);
+        let unit = if self.units == 1 {
+            0
+        } else {
+            (block as usize) % self.units
+        };
+        self.clocks.erase(unit, self.geom.erase_us);
         Ok(())
     }
 
@@ -516,6 +585,7 @@ mod tests {
             read_us: 25.0,
             write_us: 200.0,
             erase_us: 1500.0,
+            topology: crate::FlashTopology::default(),
         };
         Flash::new(geom).unwrap()
     }
@@ -703,6 +773,54 @@ mod tests {
         f.invalidate(0).unwrap();
         f.erase_block(0, OpPurpose::GcData).unwrap();
         assert!((f.stats().busy_us - (200.0 + 25.0 + 1500.0)).abs() < 1e-9);
+        // On the serial topology the device clock tracks busy time exactly.
+        assert_eq!(f.sim_device_done_us(), f.stats().busy_us);
+        assert_eq!(f.sim_frontier_us(), f.stats().busy_us);
+    }
+
+    #[test]
+    fn multi_unit_clock_overlaps_blocks_on_distinct_units() {
+        let geom = FlashGeometry {
+            page_bytes: 4096,
+            pages_per_block: 64,
+            num_blocks: 4,
+            read_us: 25.0,
+            write_us: 200.0,
+            erase_us: 1500.0,
+            topology: crate::FlashTopology {
+                channels: 2,
+                ways: 1,
+                bus_us: 0.0,
+            },
+        };
+        geom.validate().unwrap();
+        let mut f = Flash::new(geom).unwrap();
+        // Blocks 0 and 1 land on units 0 and 1.
+        f.program_page(0, 1, OpPurpose::HostData).unwrap();
+        f.sim_relax_to(0.0);
+        f.program_page(64, 2, OpPurpose::HostData).unwrap();
+        // Both programs overlapped: makespan is one program, busy is two.
+        assert_eq!(f.sim_device_done_us(), 200.0);
+        assert!((f.stats().busy_us - 400.0).abs() < 1e-9);
+        // reset_stats rewinds the clocks with the counters.
+        f.reset_stats();
+        assert_eq!(f.sim_device_done_us(), 0.0);
+        assert_eq!(f.sim_frontier_us(), 0.0);
+    }
+
+    #[test]
+    fn torn_ops_advance_no_clock() {
+        let mut f = small();
+        f.arm_faults(FaultPlan::at_op(0));
+        assert_eq!(
+            f.program_page(0, 7, OpPurpose::HostData),
+            Err(FlashError::PowerLoss)
+        );
+        f.disarm_faults();
+        // The interrupted program is unaccounted in both busy time and the
+        // simulated device clock (matching `FlashStats` behaviour).
+        assert_eq!(f.stats().busy_us, 0.0);
+        assert_eq!(f.sim_device_done_us(), 0.0);
     }
 
     #[test]

@@ -4,6 +4,67 @@ use serde::{Deserialize, Serialize};
 
 use crate::{BlockId, Ppn};
 
+/// Channel/way parallelism of a simulated flash device.
+///
+/// The device exposes `channels * ways` independent flash units; erase
+/// blocks are striped across units (`block % units`), ops on distinct
+/// units overlap in simulated time, and ops on the same unit serialize.
+/// `bus_us` models the channel bus transfer of one page separately from
+/// the cell read/program time: reads occupy the bus *after* the cell
+/// sense, programs occupy it *before* the cell program, so a translation
+/// read on one unit can pipeline behind a data transfer on another.
+///
+/// The default (`1` channel, `1` way, no bus cost) reproduces the serial
+/// single-unit timing model bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlashTopology {
+    /// Number of channels (independent buses).
+    pub channels: u32,
+    /// Number of ways (dies) per channel.
+    pub ways: u32,
+    /// Bus transfer time of one page in microseconds (0 folds the bus
+    /// into the cell latency, as the serial model did).
+    pub bus_us: f64,
+}
+
+impl Default for FlashTopology {
+    fn default() -> Self {
+        FlashTopology {
+            channels: 1,
+            ways: 1,
+            bus_us: 0.0,
+        }
+    }
+}
+
+impl FlashTopology {
+    /// Total number of independent flash units.
+    #[inline]
+    pub fn units(&self) -> usize {
+        (self.channels as usize) * (self.ways as usize)
+    }
+
+    /// The unit serving `block` (blocks are striped round-robin).
+    #[inline]
+    pub fn unit_of_block(&self, block: BlockId) -> usize {
+        (block as usize) % self.units()
+    }
+
+    /// The channel a unit's bus traffic goes through.
+    #[inline]
+    pub fn channel_of_unit(&self, unit: usize) -> usize {
+        unit % (self.channels as usize)
+    }
+
+    /// Checks the topology is usable.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.channels == 0 || self.ways == 0 || !self.bus_us.is_finite() || self.bus_us < 0.0 {
+            return Err(crate::FlashError::InvalidGeometry);
+        }
+        Ok(())
+    }
+}
+
 /// Geometry and latency parameters of a simulated flash device.
 ///
 /// Defaults follow Table 3 of the paper (taken from Agrawal et al.,
@@ -20,6 +81,8 @@ use crate::{BlockId, Ppn};
 /// assert_eq!(geom.pages_per_block, 64);
 /// // 512 MB of logical space + 15% over-provisioning (rounded up).
 /// assert_eq!(geom.num_blocks, 2048 + 308);
+/// // Serial single-unit timing unless a topology is configured.
+/// assert_eq!(geom.topology.units(), 1);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FlashGeometry {
@@ -36,6 +99,9 @@ pub struct FlashGeometry {
     pub write_us: f64,
     /// Block erase latency in microseconds.
     pub erase_us: f64,
+    /// Channel/way parallelism (defaults to a single serial unit).
+    #[serde(default)]
+    pub topology: FlashTopology,
 }
 
 impl FlashGeometry {
@@ -65,6 +131,7 @@ impl FlashGeometry {
             read_us: 25.0,
             write_us: 200.0,
             erase_us: 1500.0,
+            topology: FlashTopology::default(),
         }
     }
 
@@ -108,7 +175,7 @@ impl FlashGeometry {
         {
             return Err(crate::FlashError::InvalidGeometry);
         }
-        Ok(())
+        self.topology.validate()
     }
 }
 
@@ -163,5 +230,79 @@ mod tests {
     #[should_panic(expected = "multiple of the block size")]
     fn unaligned_capacity_panics() {
         let _ = FlashGeometry::paper_default((512 << 20) + 1, 0.15);
+    }
+
+    #[test]
+    fn topology_defaults_to_serial_unit() {
+        let t = FlashTopology::default();
+        assert_eq!(t.units(), 1);
+        assert_eq!(t.unit_of_block(17), 0);
+        assert_eq!(t.bus_us, 0.0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn topology_striping_and_channels() {
+        let t = FlashTopology {
+            channels: 4,
+            ways: 2,
+            bus_us: 10.0,
+        };
+        assert_eq!(t.units(), 8);
+        // Blocks stripe round-robin over the 8 units.
+        assert_eq!(t.unit_of_block(0), 0);
+        assert_eq!(t.unit_of_block(7), 7);
+        assert_eq!(t.unit_of_block(8), 0);
+        // Units 0..4 sit on channels 0..4, units 4..8 wrap around.
+        assert_eq!(t.channel_of_unit(3), 3);
+        assert_eq!(t.channel_of_unit(5), 1);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_topology_detected() {
+        for t in [
+            FlashTopology {
+                channels: 0,
+                ways: 1,
+                bus_us: 0.0,
+            },
+            FlashTopology {
+                channels: 1,
+                ways: 0,
+                bus_us: 0.0,
+            },
+            FlashTopology {
+                channels: 1,
+                ways: 1,
+                bus_us: -1.0,
+            },
+            FlashTopology {
+                channels: 1,
+                ways: 1,
+                bus_us: f64::NAN,
+            },
+        ] {
+            assert!(t.validate().is_err());
+            let mut g = FlashGeometry::paper_default(512 << 20, 0.0);
+            g.topology = t;
+            assert!(g.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn topology_deserializes_with_default() {
+        // Old configs without a `topology` key must load as serial.
+        let json = r#"{"page_bytes":4096,"pages_per_block":64,"num_blocks":2048,
+                       "read_us":25.0,"write_us":200.0,"erase_us":1500.0}"#;
+        let g: FlashGeometry = serde_json::from_str(json).unwrap();
+        assert_eq!(g.topology, FlashTopology::default());
+        // And round-trip with one set.
+        let mut g2 = g.clone();
+        g2.topology.channels = 8;
+        g2.topology.bus_us = 12.5;
+        let back: FlashGeometry =
+            serde_json::from_str(&serde_json::to_string(&g2).unwrap()).unwrap();
+        assert_eq!(back, g2);
     }
 }

@@ -34,13 +34,15 @@ mod fault;
 mod flash;
 mod geometry;
 mod stats;
+mod timing;
 mod tpslab;
 
 pub use error::FlashError;
 pub use fault::{FaultMode, FaultPlan, FaultRecord};
 pub use flash::{Flash, PageInfo, PageState};
-pub use geometry::FlashGeometry;
+pub use geometry::{FlashGeometry, FlashTopology};
 pub use stats::{FlashStats, OpKind, OpPurpose, PurposeCounts};
+pub use timing::UnitClocks;
 
 /// Physical page number: a global index over every page of the device.
 pub type Ppn = u32;

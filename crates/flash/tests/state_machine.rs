@@ -8,7 +8,7 @@
 //! Driven by the in-tree seeded PRNG (proptest is unavailable offline);
 //! every case replays deterministically from its seed.
 
-use tpftl_flash::{Flash, FlashError, FlashGeometry, OpPurpose, PageState, Ppn};
+use tpftl_flash::{Flash, FlashError, FlashGeometry, FlashTopology, OpPurpose, PageState, Ppn};
 use tpftl_rng::Rng64;
 
 const BLOCKS: usize = 4;
@@ -22,6 +22,7 @@ fn tiny_geom() -> FlashGeometry {
         read_us: 25.0,
         write_us: 200.0,
         erase_us: 1500.0,
+        topology: FlashTopology::default(),
     }
 }
 

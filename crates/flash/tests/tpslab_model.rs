@@ -10,7 +10,9 @@
 
 use std::collections::HashMap;
 
-use tpftl_flash::{FaultPlan, Flash, FlashError, FlashGeometry, OpPurpose, PageState, Ppn};
+use tpftl_flash::{
+    FaultPlan, Flash, FlashError, FlashGeometry, FlashTopology, OpPurpose, PageState, Ppn,
+};
 use tpftl_rng::Rng64;
 
 const BLOCKS: usize = 4;
@@ -25,6 +27,7 @@ fn tiny_geom() -> FlashGeometry {
         read_us: 25.0,
         write_us: 200.0,
         erase_us: 1500.0,
+        topology: FlashTopology::default(),
     }
 }
 

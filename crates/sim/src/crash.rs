@@ -251,6 +251,35 @@ mod tests {
     }
 
     #[test]
+    fn four_channel_crash_sweep_spot_check() {
+        // The unit-clock timing model is observation-only: a multi-channel
+        // topology must not change the op sequence, so a crash injected at
+        // the same op index recovers identically — and stays durable.
+        let mut wide = harness();
+        let serial = harness();
+        wide.config.topology.channels = 4;
+        wide.config.topology.ways = 2;
+        let ops = wide.baseline_ops(tpftl(wide.config())).expect("baseline");
+        assert_eq!(
+            ops,
+            serial
+                .baseline_ops(tpftl(serial.config()))
+                .expect("baseline"),
+            "topology must not change the flash op sequence"
+        );
+        for at in [ops / 4, ops / 2, 3 * ops / 4] {
+            let w = wide
+                .run_to_crash(tpftl(wide.config()), FaultPlan::at_op(at))
+                .expect("run");
+            w.assert_durable();
+            let s = serial
+                .run_to_crash(tpftl(serial.config()), FaultPlan::at_op(at))
+                .expect("run");
+            assert_eq!(w, s, "crash at op {at} must not depend on topology");
+        }
+    }
+
+    #[test]
     fn same_plan_gives_bit_identical_outcome() {
         let h = harness();
         let ops = h.baseline_ops(tpftl(h.config())).expect("baseline");

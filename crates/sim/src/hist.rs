@@ -1,0 +1,184 @@
+//! Deterministic log-bucketed latency histogram.
+//!
+//! Percentiles of simulated response times must be (a) computable without
+//! retaining every sample and (b) bit-reproducible across shard merges in
+//! any order. Both follow from integer bucket counts: a sample is placed
+//! by the exponent and top three mantissa bits of its `f64` value (a pure
+//! bit operation, no float comparisons), and merging histograms is integer
+//! addition, which is associative and commutative.
+//!
+//! Resolution is eight sub-buckets per power of two (≤ 9 % relative error
+//! on a reported percentile), over 1 µs .. ~1.1e12 µs, with dedicated
+//! under/overflow buckets. Reported percentile values are the *lower edge*
+//! of the bucket containing the requested rank.
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-buckets per binade (power of two). The top 3 mantissa bits.
+const SUBS: usize = 8;
+/// Binades covered: exponents 0..=39 → 1 µs up to ~1.1e12 µs.
+const BINADES: usize = 40;
+/// Bucket 0 holds everything below 1 µs; the last bucket is overflow.
+const BUCKETS: usize = 2 + BINADES * SUBS;
+
+/// Fixed-size log-bucket histogram of microsecond latencies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded samples.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    #[inline]
+    fn bucket_of(v_us: f64) -> usize {
+        if v_us < 1.0 || v_us.is_nan() {
+            // Negative, NaN or sub-microsecond: underflow bucket.
+            return 0;
+        }
+        let bits = v_us.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i64 - 1023;
+        if exp >= BINADES as i64 {
+            return BUCKETS - 1;
+        }
+        let sub = ((bits >> 49) & 0x7) as usize;
+        1 + (exp as usize) * SUBS + sub
+    }
+
+    /// Lower edge of bucket `idx` in microseconds.
+    fn lower_edge(idx: usize) -> f64 {
+        if idx == 0 {
+            return 0.0;
+        }
+        if idx >= BUCKETS - 1 {
+            return (2.0f64).powi(BINADES as i32);
+        }
+        let exp = (idx - 1) / SUBS;
+        let sub = (idx - 1) % SUBS;
+        (2.0f64).powi(exp as i32) * (1.0 + sub as f64 / SUBS as f64)
+    }
+
+    /// Records one latency sample.
+    #[inline]
+    pub fn record(&mut self, v_us: f64) {
+        self.counts[Self::bucket_of(v_us)] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every count of `other` into `self` (order-independent merge).
+    pub fn merge_from(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// The `q`-quantile (`0.0 < q <= 1.0`) as the lower edge of the bucket
+    /// holding the sample of that rank; `0.0` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::lower_edge(idx);
+            }
+        }
+        Self::lower_edge(BUCKETS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(25.0);
+        }
+        h.record(1500.0);
+        // p50 sits in 25's bucket: 25 = 2^4 * 1.5625 → sub-bucket edge 25 is
+        // between 1.5 and 1.625 → lower edge 24.
+        assert_eq!(h.quantile(0.5), 24.0);
+        // p99 is still the 25 µs bucket (the 99th of 100 samples)...
+        assert_eq!(h.quantile(0.99), 24.0);
+        // ...and p100 is the erase outlier: 1500 = 2^10 * 1.46 → edge 1408.
+        assert_eq!(h.quantile(1.0), 1408.0);
+        assert_eq!(h.total(), 100);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..10_000u64 {
+            h.record(i as f64);
+        }
+        for q in [0.5, 0.9, 0.99] {
+            let exact = q * 9_999.0;
+            let est = h.quantile(q);
+            assert!(
+                est <= exact * 1.01 && est > exact * 0.85,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for i in 0..1000 {
+            if i % 3 == 0 {
+                a.record(i as f64);
+            } else {
+                b.record((i * 7) as f64);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total(), 1000);
+    }
+
+    #[test]
+    fn degenerate_inputs_hit_edge_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(0.5);
+        h.record(f64::NAN);
+        assert_eq!(h.quantile(1.0), 0.0); // all in the underflow bucket
+        h.record(1e300);
+        assert_eq!(h.quantile(1.0), (2.0f64).powi(40));
+        // Round-trips through serde (reports embed these).
+        let back: LatencyHistogram =
+            serde_json::from_str(&serde_json::to_string(&h).unwrap()).unwrap();
+        assert_eq!(back, h);
+    }
+}

@@ -13,6 +13,7 @@
 
 mod buffer;
 mod crash;
+mod hist;
 mod report;
 mod sampler;
 mod shard;
@@ -20,7 +21,8 @@ mod ssd;
 
 pub use buffer::{BufferStats, WriteBuffer};
 pub use crash::{CrashHarness, CrashOutcome};
-pub use report::RunReport;
+pub use hist::LatencyHistogram;
+pub use report::{RunReport, SimTiming};
 pub use sampler::{CacheSample, CacheSampler, MAX_DIRTY_BUCKET};
 pub use shard::{ShardLoadStats, ShardedRunReport, ShardedSsd};
 pub use ssd::Ssd;

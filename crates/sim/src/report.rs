@@ -5,6 +5,33 @@ use tpftl_core::env::GcStats;
 use tpftl_core::FtlStats;
 use tpftl_flash::{FlashStats, OpPurpose};
 
+/// Simulated-time metrics from the channel/way unit-clock timing model.
+///
+/// All zeros (including `channels`/`ways`) on reports recorded before the
+/// model existed. On a 1-channel/1-way device the unit-clock numbers agree
+/// with the serial FIFO model's (`makespan_us` tracks `busy_us` bit for
+/// bit when the device never idles); with more units, independent flash
+/// ops overlap and the device time and tail latencies compress.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimTiming {
+    /// Channels of the device that produced this report.
+    pub channels: u32,
+    /// Ways (dies) per channel.
+    pub ways: u32,
+    /// Sum of per-request busy spans (completion − start) in µs: simulated
+    /// device time spent serving requests. Summed across shards.
+    pub device_us: f64,
+    /// Completion time of the last flash op (device makespan) in µs.
+    /// Maximum across shards (they run in parallel).
+    pub makespan_us: f64,
+    /// Mean simulated response time (arrival → completion) in µs.
+    pub resp_avg_us: f64,
+    /// Median simulated response time in µs (log-bucket lower edge).
+    pub resp_p50_us: f64,
+    /// 99th-percentile simulated response time in µs.
+    pub resp_p99_us: f64,
+}
+
 /// Everything the paper's figures plot, for one (FTL, workload) run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -24,6 +51,9 @@ pub struct RunReport {
     pub cache_bytes_used: usize,
     /// Total configured cache budget in bytes (including the GTD).
     pub cache_bytes_total: usize,
+    /// Unit-clock simulated timing (absent in pre-topology reports).
+    #[serde(default)]
+    pub sim: SimTiming,
 }
 
 impl RunReport {
@@ -80,6 +110,7 @@ mod tests {
             cached_entries: 0,
             cache_bytes_used: 0,
             cache_bytes_total: 0,
+            sim: SimTiming::default(),
         };
         r.ftl_stats.lookups = 10;
         r.ftl_stats.hits = 9;

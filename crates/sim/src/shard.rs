@@ -35,7 +35,7 @@ use tpftl_core::{FtlStats, Result, SsdConfig};
 use tpftl_flash::FlashStats;
 use tpftl_trace::{IoRequest, ShardSplitter};
 
-use crate::{RunReport, Ssd};
+use crate::{LatencyHistogram, RunReport, SimTiming, Ssd};
 
 /// 4 KB pages everywhere (Table 3).
 const PAGE_BYTES: u64 = 4096;
@@ -215,6 +215,18 @@ fn merge_reports(per_shard: &[RunReport]) -> RunReport {
     let mut cached_entries = 0usize;
     let mut cache_bytes_used = 0usize;
     let mut cache_bytes_total = 0usize;
+    // Simulated clocks: shards are parallel devices, so the merged
+    // makespan is the latest shard's (shard-order fold of `max`, still
+    // deterministic), while device time — occupied device-microseconds —
+    // sums like `busy_us`. Percentiles need the sample distribution, not
+    // per-shard percentiles; `ShardedSsd::report` fills them from the
+    // merged histograms.
+    let mut sim = SimTiming {
+        channels: per_shard[0].sim.channels,
+        ways: per_shard[0].sim.ways,
+        ..SimTiming::default()
+    };
+    let mut sim_resp_weighted = 0.0;
     for r in per_shard {
         ftl_stats.merge_from(&r.ftl_stats);
         flash.merge_from(&r.flash);
@@ -224,6 +236,12 @@ fn merge_reports(per_shard: &[RunReport]) -> RunReport {
         cached_entries += r.cached_entries;
         cache_bytes_used += r.cache_bytes_used;
         cache_bytes_total += r.cache_bytes_total;
+        sim.device_us += r.sim.device_us;
+        sim.makespan_us = sim.makespan_us.max(r.sim.makespan_us);
+        sim_resp_weighted += r.sim.resp_avg_us * r.ftl_stats.requests as f64;
+    }
+    if responses > 0 {
+        sim.resp_avg_us = sim_resp_weighted / responses as f64;
     }
     RunReport {
         ftl: per_shard[0].ftl.clone(),
@@ -238,6 +256,7 @@ fn merge_reports(per_shard: &[RunReport]) -> RunReport {
         cached_entries,
         cache_bytes_used,
         cache_bytes_total,
+        sim,
     }
 }
 
@@ -308,7 +327,7 @@ impl<F: Ftl + Send> ShardedSsd<F> {
 
     /// Serves an entire trace across the shards — one worker thread per
     /// shard fed through its bounded SPSC ring in batches of
-    /// [`BATCH_REQUESTS`] — and reports the merged measurements.
+    /// `BATCH_REQUESTS` — and reports the merged measurements.
     ///
     /// The first shard error (in shard order) is returned; remaining
     /// shards drain their queues so the splitter never blocks on a dead
@@ -385,8 +404,19 @@ impl<F: Ftl + Send> ShardedSsd<F> {
     /// The measurements accumulated so far, merged in shard order.
     pub fn report(&self) -> ShardedRunReport {
         let per_shard: Vec<RunReport> = self.shards.iter().map(Ssd::report).collect();
+        let mut merged = merge_reports(&per_shard);
+        if self.shards.len() > 1 {
+            // Exact merged percentiles: histogram counts are integers, so
+            // this merge is order-independent and bit-reproducible.
+            let mut hist = LatencyHistogram::new();
+            for shard in &self.shards {
+                hist.merge_from(shard.sim_histogram());
+            }
+            merged.sim.resp_p50_us = hist.quantile(0.5);
+            merged.sim.resp_p99_us = hist.quantile(0.99);
+        }
         ShardedRunReport {
-            merged: merge_reports(&per_shard),
+            merged,
             load: ShardLoadStats::from_reports(&per_shard),
             per_shard,
         }
@@ -581,6 +611,34 @@ mod tests {
             report.merged.ftl_stats.requests,
             report.per_shard.iter().map(|r| r.ftl_stats.requests).sum()
         );
+    }
+
+    #[test]
+    fn sim_clocks_merge_deterministically() {
+        let config = tp_config();
+        let trace: Vec<IoRequest> = spec(1_200).iter(9).collect();
+        let mut sharded = ShardedSsd::new(&config, 4, build_tp).unwrap();
+        let report = sharded.run(trace).unwrap();
+        let m = &report.merged.sim;
+        // Makespan is the latest shard; device time the sum of all shards.
+        let max_makespan = report
+            .per_shard
+            .iter()
+            .map(|r| r.sim.makespan_us)
+            .fold(0.0f64, f64::max);
+        let sum_device: f64 = report.per_shard.iter().map(|r| r.sim.device_us).sum();
+        assert_eq!(m.makespan_us.to_bits(), max_makespan.to_bits());
+        assert_eq!(m.device_us.to_bits(), sum_device.to_bits());
+        // Percentiles come from the merged histogram, not a fold of
+        // per-shard percentiles.
+        let mut hist = LatencyHistogram::new();
+        for i in 0..4 {
+            hist.merge_from(sharded.shard(i).sim_histogram());
+        }
+        assert_eq!(m.resp_p50_us, hist.quantile(0.5));
+        assert_eq!(m.resp_p99_us, hist.quantile(0.99));
+        assert!(m.resp_p99_us >= m.resp_p50_us);
+        assert!(hist.total() > 0);
     }
 
     #[test]
