@@ -12,7 +12,7 @@
 //!
 //! ```text
 //! crash-matrix [--quick] [--exhaustive] [--points N] [--requests N]
-//!              [--seed N] [--threads N] [--out PATH]
+//!              [--seed N] [--threads N] [--backing DIR] [--out PATH]
 //! ```
 //!
 //! * `--quick`      — small trace + few crash points; the CI smoke mode.
@@ -24,11 +24,18 @@
 //!   one per core). Each crash point is an independent replay, so the
 //!   results are merged in op-index order and the output is identical to
 //!   a serial run.
+//! * `--backing`    — run every crash point against a *file-backed* device
+//!   whose image lives under DIR (use a tmpfs path for speed): the power
+//!   cycle drops all RAM state and recovery remounts from the on-device
+//!   layout alone. Default is the RAM device; outcomes are bit-identical
+//!   either way.
 //! * `--out`        — JSON output path (default `CRASH_matrix.json`).
 //!
 //! JSON schema (`schema: "crash-matrix-v1"`): per-FTL records with the
 //! sweep horizon, crash points checked, aggregate recovery statistics,
 //! and every violation (empty list = durable).
+
+use std::path::PathBuf;
 
 use serde_json::Value;
 use tpftl_core::SsdConfig;
@@ -47,6 +54,7 @@ struct Opts {
     requests: usize,
     seed: u64,
     threads: Option<usize>,
+    backing: Option<PathBuf>,
     out: String,
 }
 
@@ -58,6 +66,7 @@ fn parse_opts() -> Opts {
         requests: 500,
         seed: 42,
         threads: None,
+        backing: None,
         out: "CRASH_matrix.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -82,6 +91,20 @@ fn parse_opts() -> Opts {
                 }
                 opts.threads = Some(n);
             }
+            "--backing" => {
+                let dir: PathBuf = args
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("--backing needs a directory");
+                        std::process::exit(2);
+                    })
+                    .into();
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    eprintln!("--backing: cannot create {}: {e}", dir.display());
+                    std::process::exit(2);
+                }
+                opts.backing = Some(dir);
+            }
             "--out" => {
                 opts.out = args.next().unwrap_or_else(|| {
                     eprintln!("--out needs a path");
@@ -92,7 +115,7 @@ fn parse_opts() -> Opts {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: crash-matrix [--quick] [--exhaustive] [--points N] \
-                     [--requests N] [--seed N] [--threads N] [--out PATH]"
+                     [--requests N] [--seed N] [--threads N] [--backing DIR] [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -180,9 +203,23 @@ fn sweep(harness: &CrashHarness, kind: FtlKind, opts: &Opts) -> MatrixRow {
     // serial loop.
     let ftl_name = row.ftl.clone();
     let outcomes: Vec<CrashOutcome> = run_parallel_with(points.clone(), opts.threads, |&op| {
-        harness
-            .run_to_crash(build(), FaultPlan::at_op(op))
-            .unwrap_or_else(|e| panic!("{ftl_name} op {op}: harness error {e}"))
+        let result = match &opts.backing {
+            None => harness.run_to_crash(build(), FaultPlan::at_op(op)),
+            Some(dir) => {
+                // One image per worker thread (workers drain their shard
+                // serially, so the path is never shared concurrently).
+                let path = dir.join(format!(
+                    "tpftl_crash_{}_{:?}_{}.img",
+                    std::process::id(),
+                    std::thread::current().id(),
+                    ftl_name.replace(['(', ')', ' ', '-'], "_"),
+                ));
+                let out = harness.run_to_crash_backed(build(), FaultPlan::at_op(op), &path);
+                let _ = std::fs::remove_file(&path);
+                out
+            }
+        };
+        result.unwrap_or_else(|e| panic!("{ftl_name} op {op}: harness error {e}"))
     });
     for (&op, out) in points.iter().zip(&outcomes) {
         row.torn_pages += out.recovery.torn_pages;
@@ -246,6 +283,10 @@ fn main() {
         ("exhaustive".to_string(), Value::Bool(opts.exhaustive)),
         ("seed".to_string(), Value::UInt(opts.seed)),
         ("requests".to_string(), Value::UInt(opts.requests as u64)),
+        (
+            "file_backed".to_string(),
+            Value::Bool(opts.backing.is_some()),
+        ),
         (
             "results".to_string(),
             Value::Array(rows.iter().map(MatrixRow::to_json).collect()),

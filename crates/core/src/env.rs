@@ -119,6 +119,23 @@ impl SsdEnv {
         })
     }
 
+    /// Creates an SSD per `config` on a prebuilt flash device — typically
+    /// one created with [`Flash::create_file`] so every state transition
+    /// is mirrored to a backing device file. The device must be fully
+    /// erased (this is the fresh-device constructor; remounting an
+    /// already-written device goes through `recovery::crash_mount`) and
+    /// its geometry must match the configuration.
+    pub fn with_flash(config: SsdConfig, flash: Flash) -> Result<Self> {
+        if flash.geometry() != &config.geometry() {
+            return Err(
+                tpftl_flash::FlashError::Media(tpftl_flash::MediaError::GeometryMismatch).into(),
+            );
+        }
+        let mut env = Self::new(config)?;
+        env.flash = flash;
+        Ok(env)
+    }
+
     /// The device configuration.
     pub fn config(&self) -> &SsdConfig {
         &self.config

@@ -20,6 +20,9 @@
 //!   --ways N            ways (dies) per channel                (default 1)
 //!   --bus-us F          channel bus transfer time per page in µs
 //!                       (default 0 = bus not modeled)
+//!   --backing PATH      mirror the flash array to a persistent device
+//!                       file at PATH (created/truncated; fsynced after
+//!                       the run). Single-queue engine only.
 //!   --json              emit the full RunReport as JSON
 //! ```
 
@@ -35,7 +38,7 @@ use tpftl_trace::{parse, IoRequest};
 const USAGE: &str = "usage: simulate [--ftl NAME] [--workload NAME | --trace FILE]
                 [--requests N] [--seed N] [--cache-bytes N | --cache-frac F]
                 [--prefill F] [--gc POLICY] [--buffer PAGES] [--shards N]
-                [--channels N] [--ways N] [--bus-us F] [--json]
+                [--channels N] [--ways N] [--bus-us F] [--backing PATH] [--json]
 run `simulate --help` for details";
 
 struct Options {
@@ -53,6 +56,7 @@ struct Options {
     channels: u32,
     ways: u32,
     bus_us: f64,
+    backing: Option<String>,
     json: bool,
 }
 
@@ -72,6 +76,7 @@ fn parse_args() -> Result<Options, String> {
         channels: 1,
         ways: 1,
         bus_us: 0.0,
+        backing: None,
         json: false,
     };
     let mut args = std::env::args().skip(1);
@@ -131,6 +136,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--ways" => o.ways = value("--ways")?.parse().map_err(|e| format!("{e}"))?,
             "--bus-us" => o.bus_us = value("--bus-us")?.parse().map_err(|e| format!("{e}"))?,
+            "--backing" => o.backing = Some(value("--backing")?),
             "--json" => o.json = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
@@ -254,6 +260,10 @@ fn main() -> ExitCode {
             eprintln!("--buffer is not supported with --shards");
             return ExitCode::FAILURE;
         }
+        if o.backing.is_some() {
+            eprintln!("--backing is not supported with --shards (single-queue engine only)");
+            return ExitCode::FAILURE;
+        }
         if !config.supports_shards(o.shards) {
             eprintln!(
                 "cannot split {} logical pages into {} shards",
@@ -300,11 +310,29 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut ssd = match Ssd::new(ftl, config.clone()) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot build SSD: {e}");
-            return ExitCode::FAILURE;
+    let mut ssd = match &o.backing {
+        None => match Ssd::new(ftl, config.clone()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot build SSD: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Some(path) => {
+            let flash = match tpftl_flash::Flash::create_file(config.geometry(), path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot create backing file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Ssd::with_flash(ftl, config.clone(), flash) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot build SSD: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
     };
     if o.buffer > 0 {
@@ -322,6 +350,14 @@ fn main() -> ExitCode {
     if ssd.flush_buffer().is_err() {
         eprintln!("warning: buffer flush failed");
     }
+    let buffer_stats = ssd.buffer_stats();
+    if o.backing.is_some() {
+        // Make the finished image durable on real media before reporting.
+        let mut flash = ssd.into_env().into_flash();
+        if let Err(e) = flash.sync_backing() {
+            eprintln!("warning: backing sync failed: {e}");
+        }
+    }
 
     if o.json {
         println!(
@@ -331,11 +367,14 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     print_report(&report, &config);
-    if let Some(b) = ssd.buffer_stats() {
+    if let Some(b) = buffer_stats {
         println!(
             "write buffer:        {} absorbed, {} inserted, {} read hits",
             b.write_absorbed, b.write_inserted, b.read_hits
         );
+    }
+    if let Some(path) = &o.backing {
+        println!("backing file:        {path} (synced)");
     }
     println!("wall clock:          {:.2?}", started.elapsed());
     ExitCode::SUCCESS

@@ -51,6 +51,9 @@ pub enum FlashError {
     },
     /// Geometry parameters are inconsistent (zero-sized, overflowing, ...).
     InvalidGeometry,
+    /// The file-backed media layer failed (I/O error, corrupt or missing
+    /// superblock, layout mismatch). See [`crate::media::MediaError`].
+    Media(crate::media::MediaError),
 }
 
 impl core::fmt::Display for FlashError {
@@ -83,6 +86,7 @@ impl core::fmt::Display for FlashError {
                 "translation payload holds {got} entries, expected {expected}"
             ),
             Self::InvalidGeometry => write!(f, "invalid flash geometry"),
+            Self::Media(e) => write!(f, "media error: {e}"),
         }
     }
 }

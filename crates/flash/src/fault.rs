@@ -74,6 +74,7 @@ pub struct FaultPlan {
     tp_writes: u64,
     erases: u64,
     fired: Option<FaultRecord>,
+    tear_bytes: Option<u64>,
 }
 
 impl FaultPlan {
@@ -84,6 +85,7 @@ impl FaultPlan {
             tp_writes: 0,
             erases: 0,
             fired: None,
+            tear_bytes: None,
         }
     }
 
@@ -111,6 +113,22 @@ impl FaultPlan {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
         Self::at_op(z % horizon.max(1))
+    }
+
+    /// When a file backing is attached, tear the fatal program's record at
+    /// this byte budget: the first `n % record_len` bytes of the
+    /// would-be-written `[data][OOB]` record land on disk and nothing else
+    /// — the partial write a real power loss produces. The modulo keeps
+    /// the record incomplete at any `n`, so its commit checksum (the final
+    /// 8 OOB bytes) can never fully land. RAM-only devices ignore it.
+    pub fn with_tear(mut self, n: u64) -> Self {
+        self.tear_bytes = Some(n);
+        self
+    }
+
+    /// The configured tear budget, if any.
+    pub fn tear_bytes(&self) -> Option<u64> {
+        self.tear_bytes
     }
 
     /// The configured trigger.

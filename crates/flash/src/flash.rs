@@ -1,5 +1,8 @@
 //! The flash device model proper.
 
+use std::path::Path;
+
+use crate::media::FileBacking;
 use crate::timing::UnitClocks;
 use crate::tpslab::TpSlab;
 use crate::{
@@ -32,6 +35,16 @@ pub struct PageInfo {
     pub is_translation: bool,
 }
 
+/// What a program is committing: plain host/GC data, a full translation
+/// payload, or a translation RMW copy (source page + patches). Carries
+/// everything the file mirror needs to serialize the page — including the
+/// page an interrupted program *would* have written.
+enum TpContent<'a> {
+    Data,
+    Tp(&'a [Ppn]),
+    TpFrom(Ppn, &'a [(u16, Ppn)]),
+}
+
 /// A simulated NAND flash device.
 ///
 /// See the crate-level documentation for the invariants enforced. All state
@@ -50,7 +63,7 @@ pub struct PageInfo {
 /// assert_eq!(flash.state(ppn).unwrap(), PageState::Valid);
 /// assert_eq!(flash.read_page(ppn, OpPurpose::HostData).unwrap().tag, 42);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Flash {
     geom: FlashGeometry,
     entries_per_tp: usize,
@@ -76,6 +89,36 @@ pub struct Flash {
     /// Cached `geom.topology.units()` so the hot path can skip the unit
     /// computation entirely on the default serial topology.
     units: usize,
+    /// Optional file backing: every state transition is mirrored to a
+    /// device file with the fixed on-device layout of [`crate::media`],
+    /// so the device survives process death. `None` (the default) is the
+    /// pure-RAM arena with zero overhead.
+    backing: Option<FileBacking>,
+}
+
+impl Clone for Flash {
+    /// Clones the in-RAM device state. A file backing is **not** cloned:
+    /// the clone is a detached RAM snapshot (two handles appending to one
+    /// device file would corrupt its append order).
+    fn clone(&self) -> Self {
+        Self {
+            geom: self.geom.clone(),
+            entries_per_tp: self.entries_per_tp,
+            state: self.state.clone(),
+            tag: self.tag.clone(),
+            write_ptr: self.write_ptr.clone(),
+            valid_count: self.valid_count.clone(),
+            erase_count: self.erase_count.clone(),
+            tp: self.tp.clone(),
+            seq: self.seq.clone(),
+            next_seq: self.next_seq,
+            faults: self.faults.clone(),
+            stats: self.stats.clone(),
+            clocks: self.clocks.clone(),
+            units: self.units,
+            backing: None,
+        }
+    }
 }
 
 impl Flash {
@@ -104,7 +147,93 @@ impl Flash {
             clocks: UnitClocks::new(&geom.topology),
             units: geom.topology.units(),
             geom,
+            backing: None,
         })
+    }
+
+    /// Creates a fully erased device backed by a fresh device file at
+    /// `path` (truncating anything already there). Every subsequent state
+    /// transition is mirrored to the file with commit ordering that keeps
+    /// the on-disk image crash-consistent at any instant; see
+    /// [`crate::media`].
+    pub fn create_file<P: AsRef<Path>>(geom: FlashGeometry, path: P) -> Result<Self> {
+        let backing = FileBacking::create(path.as_ref(), &geom)?;
+        let mut flash = Self::new(geom)?;
+        flash.backing = Some(backing);
+        Ok(flash)
+    }
+
+    /// Opens an existing device file and reconstructs the full device
+    /// state from it alone: superblock election picks the newest valid
+    /// copy (geometry, mount stamp), every page record is classified from
+    /// its checksummed OOB (committed → `Valid`/`Invalid` with its seq
+    /// stamp and payload, interrupted → `Torn`, untouched → `Free`), and
+    /// per-block write pointers, valid counts, and erase counters are
+    /// rebuilt. Typically followed by `recovery::crash_mount` on the
+    /// returned device.
+    ///
+    /// # Errors
+    ///
+    /// [`FlashError::Media`] when the file is missing, both superblock
+    /// copies are corrupt, the layout version is unknown, or the file
+    /// length disagrees with the elected geometry. Never panics on
+    /// corrupt record bytes — those classify as torn pages.
+    pub fn open_file<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let (mut backing, sb) = FileBacking::open(path.as_ref())?;
+        let geom = sb.geometry;
+        let metas = backing.load_pages(geom.total_pages())?;
+        let erase_count = backing.load_erase_counts(geom.num_blocks)?;
+        let mut flash = Self::new(geom)?;
+        flash.erase_count = erase_count;
+        let mut scratch: Vec<Ppn> = Vec::new();
+        for (i, m) in metas.iter().enumerate() {
+            let ppn = i as Ppn;
+            let block = flash.geom.block_of(ppn) as usize;
+            flash.state[i] = m.state;
+            flash.tag[i] = m.tag;
+            flash.seq[i] = m.seq;
+            if m.state == PageState::Valid {
+                flash.valid_count[block] += 1;
+                if m.is_translation {
+                    backing.read_payload_into(ppn, &mut scratch)?;
+                    flash.tp.insert(ppn, &scratch);
+                }
+            }
+            if m.state != PageState::Free {
+                let wp = flash.geom.offset_in_block(ppn) as u32 + 1;
+                if wp > flash.write_ptr[block] {
+                    flash.write_ptr[block] = wp;
+                }
+            }
+        }
+        // Only the *relative* order of live stamps matters to recovery, so
+        // restarting just past the maximum surviving stamp is safe even if
+        // the globally newest page has been erased.
+        flash.next_seq = metas.iter().map(|m| m.seq).max().unwrap_or(0) + 1;
+        flash.backing = Some(backing);
+        Ok(flash)
+    }
+
+    /// Path of the backing device file, if this device has one.
+    pub fn backing_path(&self) -> Option<&Path> {
+        self.backing.as_ref().map(FileBacking::path)
+    }
+
+    /// Whether this device mirrors to a backing file.
+    pub fn has_backing(&self) -> bool {
+        self.backing.is_some()
+    }
+
+    /// Flushes the backing file's dirty pages to stable storage (fsync).
+    /// A no-op on RAM-only devices. The mirror path itself never syncs —
+    /// completed writes are durable against process death (the page cache
+    /// survives `SIGKILL`) but need this barrier to survive host power
+    /// loss.
+    pub fn sync_backing(&mut self) -> Result<()> {
+        match &mut self.backing {
+            Some(b) => b.sync(),
+            None => Ok(()),
+        }
     }
 
     /// The device geometry.
@@ -329,12 +458,59 @@ impl Flash {
         Ok(self.tp.get(ppn).expect("payload checked above"))
     }
 
+    /// Mirrors a completed program of `ppn` to the backing file, using the
+    /// page's just-committed RAM metadata (tag, seq, slab payload).
+    #[inline]
+    fn mirror_program(&mut self, ppn: Ppn) -> Result<()> {
+        let Some(b) = self.backing.as_mut() else {
+            return Ok(());
+        };
+        let i = ppn as usize;
+        b.program(ppn, self.tag[i], self.seq[i], self.tp.get(ppn))
+    }
+
+    /// Mirrors an *interrupted* program of `ppn` to the backing file: the
+    /// torn OOB marker, or — with a tear budget on the fault plan — the
+    /// partial prefix of the record the program would have written. The
+    /// payload a torn translation RMW *would* have committed is
+    /// materialized here on this cold path only (the RAM slab stores
+    /// nothing for torn programs).
+    fn mirror_torn_program(&mut self, ppn: Ppn, tag: u32, content: &TpContent<'_>) -> Result<()> {
+        if self.backing.is_none() {
+            return Ok(());
+        }
+        let tear = self.faults.as_ref().and_then(FaultPlan::tear_bytes);
+        // The seq stamp the completed program would have used. RAM leaves
+        // `next_seq` unbumped on torn programs, so a later completed
+        // program reuses it — harmless: the torn record can never commit.
+        let seq = self.next_seq;
+        let patched: Vec<Ppn>;
+        let payload: Option<&[Ppn]> = match content {
+            TpContent::Data => None,
+            TpContent::Tp(p) => Some(p),
+            TpContent::TpFrom(src, updates) => {
+                let mut p = self
+                    .tp
+                    .get(*src)
+                    .expect("source checked by caller")
+                    .to_vec();
+                for &(off, v) in *updates {
+                    p[off as usize] = v;
+                }
+                patched = p;
+                Some(&patched)
+            }
+        };
+        let b = self.backing.as_mut().expect("checked above");
+        b.torn_program(ppn, tag, seq, payload, tear)
+    }
+
     fn program_common(
         &mut self,
         ppn: Ppn,
         tag: u32,
         purpose: OpPurpose,
-        is_translation: bool,
+        content: TpContent<'_>,
     ) -> Result<()> {
         if self.dark() {
             return Err(FlashError::PowerLoss);
@@ -351,11 +527,13 @@ impl Flash {
                 expected,
             });
         }
+        let is_translation = !matches!(content, TpContent::Data);
         if self.fault_trips(OpKind::Write, is_translation) {
             // The program pulse started: the page is torn (indeterminate
             // charge, behind the write pointer) but never becomes valid.
             self.state[ppn as usize] = PageState::Torn;
             self.write_ptr[block as usize] += 1;
+            self.mirror_torn_program(ppn, tag, &content)?;
             return Err(FlashError::PowerLoss);
         }
         self.state[ppn as usize] = PageState::Valid;
@@ -364,6 +542,11 @@ impl Flash {
         self.next_seq += 1;
         self.write_ptr[block as usize] += 1;
         self.valid_count[block as usize] += 1;
+        match content {
+            TpContent::Data => {}
+            TpContent::Tp(payload) => self.tp.insert(ppn, payload),
+            TpContent::TpFrom(src, updates) => self.tp.insert_copy(ppn, src, updates),
+        }
         self.stats
             .record(OpKind::Write, purpose, self.geom.write_us);
         let unit = if self.units == 1 {
@@ -372,13 +555,14 @@ impl Flash {
             (block as usize) % self.units
         };
         self.clocks.write(unit, self.geom.write_us);
+        self.mirror_program(ppn)?;
         Ok(())
     }
 
     /// Programs a data page carrying `tag` (its LPN), accounting one
     /// page-program latency.
     pub fn program_page(&mut self, ppn: Ppn, tag: u32, purpose: OpPurpose) -> Result<()> {
-        self.program_common(ppn, tag, purpose, false)
+        self.program_common(ppn, tag, purpose, TpContent::Data)
     }
 
     /// Programs a page at an offset at or beyond the block's write pointer,
@@ -405,6 +589,7 @@ impl Flash {
         if self.fault_trips(OpKind::Write, false) {
             self.state[ppn as usize] = PageState::Torn;
             self.write_ptr[block as usize] = self.geom.offset_in_block(ppn) as u32 + 1;
+            self.mirror_torn_program(ppn, tag, &TpContent::Data)?;
             return Err(FlashError::PowerLoss);
         }
         self.state[ppn as usize] = PageState::Valid;
@@ -421,6 +606,7 @@ impl Flash {
             (block as usize) % self.units
         };
         self.clocks.write(unit, self.geom.write_us);
+        self.mirror_program(ppn)?;
         Ok(())
     }
 
@@ -439,9 +625,7 @@ impl Flash {
                 expected: self.entries_per_tp,
             });
         }
-        self.program_common(ppn, vtpn, purpose, true)?;
-        self.tp.insert(ppn, payload);
-        Ok(())
+        self.program_common(ppn, vtpn, purpose, TpContent::Tp(payload))
     }
 
     /// Programs a translation page for `vtpn` whose payload is `src`'s
@@ -464,9 +648,7 @@ impl Flash {
         if !self.tp.contains(src) {
             return Err(FlashError::NotATranslationPage(src));
         }
-        self.program_common(ppn, vtpn, purpose, true)?;
-        self.tp.insert_copy(ppn, src, updates);
-        Ok(())
+        self.program_common(ppn, vtpn, purpose, TpContent::TpFrom(src, updates))
     }
 
     /// Marks a valid page as invalid (superseded). This is a metadata-only
@@ -486,6 +668,9 @@ impl Flash {
                 // (reading invalid pages is an error), so recycle their
                 // slab slot eagerly.
                 self.tp.remove(ppn);
+                if let Some(b) = self.backing.as_mut() {
+                    b.invalidate(ppn)?;
+                }
                 Ok(())
             }
             PageState::Free => Err(FlashError::ReadFree(ppn)),
@@ -517,6 +702,9 @@ impl Flash {
                 *q = 0;
             }
             self.write_ptr[block as usize] = self.geom.pages_per_block as u32;
+            if let Some(b) = self.backing.as_mut() {
+                b.torn_erase(block)?;
+            }
             return Err(FlashError::PowerLoss);
         }
         for s in &mut self.state[first..first + self.geom.pages_per_block] {
@@ -527,6 +715,10 @@ impl Flash {
         }
         self.write_ptr[block as usize] = 0;
         self.erase_count[block as usize] += 1;
+        let count = self.erase_count[block as usize];
+        if let Some(b) = self.backing.as_mut() {
+            b.erase(block, count)?;
+        }
         self.stats
             .record(OpKind::Erase, purpose, self.geom.erase_us);
         let unit = if self.units == 1 {

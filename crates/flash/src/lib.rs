@@ -33,6 +33,7 @@ mod error;
 mod fault;
 mod flash;
 mod geometry;
+pub mod media;
 mod stats;
 mod timing;
 mod tpslab;
@@ -41,6 +42,7 @@ pub use error::FlashError;
 pub use fault::{FaultMode, FaultPlan, FaultRecord};
 pub use flash::{Flash, PageInfo, PageState};
 pub use geometry::{FlashGeometry, FlashTopology};
+pub use media::MediaError;
 pub use stats::{FlashStats, OpKind, OpPurpose, PurposeCounts};
 pub use timing::UnitClocks;
 

@@ -13,12 +13,14 @@
 //! serialized outcomes across replays.
 
 use std::collections::HashMap;
+use std::path::Path;
 
 use serde::{Deserialize, Serialize};
+use tpftl_core::env::SsdEnv;
 use tpftl_core::ftl::Ftl;
-use tpftl_core::recovery::{self, RecoveryReport, VerifyReport};
+use tpftl_core::recovery::{self, InterruptedOp, RecoveryReport, VerifyReport};
 use tpftl_core::{FtlError, Result, SsdConfig};
-use tpftl_flash::{FaultPlan, FlashError, Lpn, Ppn};
+use tpftl_flash::{FaultPlan, Flash, FlashError, Lpn, Ppn};
 use tpftl_trace::IoRequest;
 
 use crate::Ssd;
@@ -125,6 +127,76 @@ impl CrashHarness {
         // the power loss strikes during the measured workload, and the
         // pre-filled pages count as acknowledged content.
         let mut ssd = Ssd::new(ftl, self.config.clone())?;
+        let (name, mut acked, requests_acknowledged, completed_trace) =
+            self.replay_until_crash(&mut ssd, plan)?;
+
+        // Power cycle: only the flash array survives.
+        let flash = ssd.into_env().into_flash();
+        let (env, recovery) = recovery::crash_mount(flash, self.config.clone())?;
+        Ok(self.judge(
+            env,
+            recovery,
+            name,
+            &mut acked,
+            requests_acknowledged,
+            completed_trace,
+        ))
+    }
+
+    /// [`CrashHarness::run_to_crash`] against a *file-backed* device: the
+    /// run mirrors every flash transition to a fresh device file at
+    /// `path`, the power cycle drops **all** RAM state (the file handle
+    /// included), and recovery starts from `Flash::open_file` — the
+    /// remount reads the on-device layout alone, exactly like a fresh
+    /// process after `kill -9` would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any simulator error other than the injected power loss,
+    /// plus `FlashError::Media` I/O failures from the device file.
+    pub fn run_to_crash_backed<F: Ftl>(
+        &self,
+        ftl: F,
+        plan: FaultPlan,
+        path: &Path,
+    ) -> Result<CrashOutcome> {
+        let flash = Flash::create_file(self.config.geometry(), path)?;
+        let mut ssd = Ssd::with_flash(ftl, self.config.clone(), flash)?;
+        let (name, mut acked, requests_acknowledged, completed_trace) =
+            self.replay_until_crash(&mut ssd, plan)?;
+
+        // The fault plan dies with the RAM state; remember what it killed
+        // so the outcome is comparable with the RAM-backed run's.
+        let fired = ssd.fault_fired();
+
+        // Power cycle: drop every byte of RAM state. Only the file is
+        // left; reopen and reconstruct the device from media.
+        drop(ssd.into_env().into_flash());
+        let flash = Flash::open_file(path)?;
+        let (env, mut recovery) = recovery::crash_mount(flash, self.config.clone())?;
+        recovery.interrupted = fired.map(|r| InterruptedOp {
+            op_index: r.op_index,
+            kind: r.kind,
+        });
+        Ok(self.judge(
+            env,
+            recovery,
+            name,
+            &mut acked,
+            requests_acknowledged,
+            completed_trace,
+        ))
+    }
+
+    /// Arms `plan` on a bootstrapped `ssd` and replays the trace until the
+    /// plan fires or the trace (plus the unmount flush) completes. Returns
+    /// the FTL name, the acknowledged LPNs (pre-fill + `Ok` writes), the
+    /// acknowledged request count, and whether the run completed.
+    fn replay_until_crash<F: Ftl>(
+        &self,
+        ssd: &mut Ssd<F>,
+        plan: FaultPlan,
+    ) -> Result<(String, Vec<Lpn>, u64, bool)> {
         let name = ssd.ftl().name();
         let prefilled = (self.config.logical_pages() as f64 * self.config.prefill_frac) as u64;
         let mut acked: Vec<Lpn> = (0..prefilled as Lpn).collect();
@@ -156,14 +228,22 @@ impl CrashHarness {
                 Err(e) => return Err(e),
             }
         }
+        Ok((name, acked, requests_acknowledged, completed_trace))
+    }
 
-        // Power cycle: only the flash array survives.
-        let flash = ssd.into_env().into_flash();
-        let (env, recovery) = recovery::crash_mount(flash, self.config.clone())?;
-
-        // Durability oracle. A write is acknowledged only once its whole
-        // request returned `Ok`; program-before-invalidate ordering plus
-        // newest-copy election must make every such page readable again.
+    /// The durability oracle over a remounted device. A write is
+    /// acknowledged only once its whole request returned `Ok`;
+    /// program-before-invalidate ordering plus newest-copy election must
+    /// make every such page readable again.
+    fn judge(
+        &self,
+        env: SsdEnv,
+        recovery: RecoveryReport,
+        name: String,
+        acked: &mut Vec<Lpn>,
+        requests_acknowledged: u64,
+        completed_trace: bool,
+    ) -> CrashOutcome {
         acked.sort_unstable();
         acked.dedup();
         let live: HashMap<Lpn, Ppn> = env
@@ -173,7 +253,7 @@ impl CrashHarness {
             .map(|(ppn, lpn, _)| (lpn, ppn))
             .collect();
         let mut violations = Vec::new();
-        for &lpn in &acked {
+        for &lpn in acked.iter() {
             match recovery::lookup(&env, lpn) {
                 None => violations.push(format!("acknowledged LPN {lpn} unmapped after recovery")),
                 Some(ppn) if live.get(&lpn) != Some(&ppn) => violations.push(format!(
@@ -184,7 +264,7 @@ impl CrashHarness {
             }
         }
 
-        Ok(CrashOutcome {
+        CrashOutcome {
             ftl: name,
             completed_trace,
             requests_acknowledged,
@@ -192,7 +272,7 @@ impl CrashHarness {
             recovery,
             verify: recovery::verify(&env),
             violations,
-        })
+        }
     }
 }
 

@@ -72,6 +72,29 @@ impl<F: Ftl> Ssd<F> {
         })
     }
 
+    /// Like [`Ssd::new`], but bootstraps on a prebuilt flash device —
+    /// typically a file-backed one from `tpftl_flash::Flash::create_file`,
+    /// so the whole run (including bootstrap) is mirrored to the device
+    /// file. The device must be fully erased and match `config`'s
+    /// geometry.
+    pub fn with_flash(mut ftl: F, config: SsdConfig, flash: tpftl_flash::Flash) -> Result<Self> {
+        let mut env = SsdEnv::with_flash(config, flash)?;
+        driver::bootstrap(&mut ftl, &mut env)?;
+        Ok(Self {
+            ftl,
+            env,
+            sampler: None,
+            buffer: None,
+            device_free_us: 0.0,
+            response_sum_us: 0.0,
+            responses: 0,
+            sim_free_us: 0.0,
+            sim_span_us: 0.0,
+            sim_resp_sum_us: 0.0,
+            sim_hist: LatencyHistogram::new(),
+        })
+    }
+
     /// Attaches a cache sampler (Figure 1/2 experiments).
     pub fn with_sampler(mut self, sampler: CacheSampler) -> Self {
         self.sampler = Some(sampler);

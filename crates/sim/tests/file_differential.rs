@@ -1,0 +1,158 @@
+//! File-backed vs RAM-backed differential test.
+//!
+//! The file backing is a *mirror*: attaching it must not change a single
+//! observable bit of device behaviour. For all five FTLs, the same
+//! fixed-seed trace replayed on a RAM device and on a file-backed device
+//! must produce bit-identical run reports (op counters, response-time
+//! float bits, golden fingerprints ride on these), bit-identical flash
+//! state — and, after a full power cycle of the file-backed device
+//! (reopened purely from media), bit-identical remount outcomes.
+//!
+//! A second sweep compares the crash harness's RAM path against its
+//! file-backed path under injected power loss for the four
+//! mapping-persisting FTLs: `CrashOutcome`s must match exactly.
+
+use std::path::PathBuf;
+
+use tpftl_core::ftl::{Cdftl, Dftl, Ftl, OptimalFtl, Sftl, TpFtl, TpftlConfig};
+use tpftl_core::{recovery, SsdConfig};
+use tpftl_flash::{FaultPlan, Flash, Lpn};
+use tpftl_sim::{CrashHarness, Ssd};
+use tpftl_trace::{IoRequest, SyntheticSpec};
+
+fn config() -> SsdConfig {
+    let mut c = SsdConfig::paper_default(4 << 20);
+    c.cache_bytes = c.gtd_bytes() + 10 * 1024;
+    c.prefill_frac = 0.6;
+    c
+}
+
+fn ftls(c: &SsdConfig) -> Vec<Box<dyn Ftl>> {
+    vec![
+        Box::new(Dftl::new(c).expect("budget")),
+        Box::new(Cdftl::new(c).expect("budget")),
+        Box::new(Sftl::new(c).expect("budget")),
+        Box::new(TpFtl::new(c, TpftlConfig::full()).expect("budget")),
+        Box::new(OptimalFtl::new(c)),
+    ]
+}
+
+fn trace() -> Vec<IoRequest> {
+    let spec = SyntheticSpec {
+        requests: 300,
+        address_bytes: 4 << 20,
+        write_ratio: 0.7,
+        mean_req_sectors: 8.0,
+        ..SyntheticSpec::default()
+    };
+    spec.iter(42).collect()
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("tpftl_diff_{}_{name}.img", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Clean replay: reports, flash state, and post-power-cycle remount
+/// outcomes are bit-identical between RAM and file backing, for all five
+/// FTLs (Optimal included — it persists no translation pages, and its
+/// mirrored data pages must still round-trip).
+#[test]
+fn file_backing_is_bit_identical_to_ram_for_all_ftls() {
+    let c = config();
+    let reqs = trace();
+    for (ram_ftl, file_ftl) in ftls(&c).into_iter().zip(ftls(&c)) {
+        let name = ram_ftl.name();
+        let path = temp_path(&name.replace(['(', ')', '-'], "_"));
+
+        let mut ram_ssd = Ssd::new(ram_ftl, c.clone()).expect("ram ssd");
+        let ram_report = ram_ssd.run(reqs.iter().cloned()).expect("ram run");
+
+        let flash = Flash::create_file(c.geometry(), &path).expect("create");
+        let mut file_ssd = Ssd::with_flash(file_ftl, c.clone(), flash).expect("file ssd");
+        let file_report = file_ssd.run(reqs.iter().cloned()).expect("file run");
+
+        // Op counters, golden-fingerprint inputs, response-time float
+        // bits: the mirror must cost zero observable behaviour.
+        assert_eq!(ram_report, file_report, "{name}: run reports diverge");
+        assert_eq!(
+            serde_json::to_string(&ram_report).expect("json"),
+            serde_json::to_string(&file_report).expect("json"),
+            "{name}: serialized reports diverge"
+        );
+
+        let ram_flash = ram_ssd.into_env().into_flash();
+        let file_flash_live = file_ssd.into_env().into_flash();
+        let live_valid: Vec<_> = file_flash_live.scan_valid().collect();
+        assert_eq!(
+            ram_flash.scan_valid().collect::<Vec<_>>(),
+            live_valid,
+            "{name}: live flash state diverges"
+        );
+
+        // Power cycle the file-backed device: drop every byte of RAM
+        // state, reopen from media alone.
+        drop(file_flash_live);
+        let file_flash = Flash::open_file(&path).expect("reopen");
+        assert_eq!(
+            ram_flash.scan_valid().collect::<Vec<_>>(),
+            file_flash.scan_valid().collect::<Vec<_>>(),
+            "{name}: remounted flash state diverges"
+        );
+
+        // Remount outcomes: recovery reports, verify reports, and every
+        // persisted lookup must agree bit for bit.
+        let (ram_env, ram_rec) = recovery::crash_mount(ram_flash, c.clone()).expect("ram mount");
+        let (file_env, file_rec) =
+            recovery::crash_mount(file_flash, c.clone()).expect("file mount");
+        assert_eq!(ram_rec, file_rec, "{name}: recovery reports diverge");
+        assert_eq!(
+            recovery::verify(&ram_env),
+            recovery::verify(&file_env),
+            "{name}: verify reports diverge"
+        );
+        for lpn in 0..c.logical_pages() as Lpn {
+            assert_eq!(
+                recovery::lookup(&ram_env, lpn),
+                recovery::lookup(&file_env, lpn),
+                "{name}: persisted lookup of LPN {lpn} diverges"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// Injected power loss: the crash harness's file-backed path (full power
+/// cycle through the device file) must reach the exact same
+/// `CrashOutcome` as its RAM path, across FTLs and crash points.
+#[test]
+fn crash_outcomes_match_between_ram_and_file_paths() {
+    let c = config();
+    let h = CrashHarness::new(c.clone(), trace());
+    type Mk = fn(&SsdConfig) -> Box<dyn Ftl>;
+    let kinds: Vec<(&str, Mk)> = vec![
+        ("dftl", |c| Box::new(Dftl::new(c).expect("budget"))),
+        ("cdftl", |c| Box::new(Cdftl::new(c).expect("budget"))),
+        ("sftl", |c| Box::new(Sftl::new(c).expect("budget"))),
+        ("tpftl", |c| {
+            Box::new(TpFtl::new(c, TpftlConfig::full()).expect("budget"))
+        }),
+    ];
+    for (key, mk) in kinds {
+        let path = temp_path(&format!("crash_{key}"));
+        let ops = h.baseline_ops(mk(&c)).expect("baseline");
+        for at in [ops / 5, ops / 2, 4 * ops / 5, u64::MAX] {
+            let ram = h
+                .run_to_crash(mk(&c), FaultPlan::at_op(at))
+                .expect("ram run");
+            let file = h
+                .run_to_crash_backed(mk(&c), FaultPlan::at_op(at), &path)
+                .expect("file run");
+            assert_eq!(ram, file, "{key}: outcomes diverge at op {at}");
+            ram.assert_durable();
+            file.assert_durable();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

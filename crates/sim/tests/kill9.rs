@@ -1,0 +1,102 @@
+//! Integration test for the `crash-replay` kill-9 harness.
+//!
+//! Drives the real binary (the same one CI sweeps with): children are
+//! genuine subprocesses replaying against a device file and dying of
+//! `SIGKILL` mid-op; the parent process remounts each image cold and
+//! judges durability. A small point count keeps `cargo test` fast — the
+//! wide sweep runs in CI via `--quick` and locally via `--exhaustive`.
+
+use std::os::unix::process::ExitStatusExt;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn exe() -> &'static str {
+    env!("CARGO_BIN_EXE_crash-replay")
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tpftl_kill9_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create temp dir");
+    d
+}
+
+/// A small randomized sweep: every child must die of `SIGKILL`, every
+/// image must remount, and the oracle must find zero durability
+/// violations — reported both by the exit code and the JSON artifact.
+#[test]
+fn kill9_sweep_is_durable() {
+    let dir = temp_dir("sweep");
+    let out = dir.join("CRASH_matrix_file.json");
+    let status = Command::new(exe())
+        .args(["--points", "12", "--requests", "150", "--seed", "7"])
+        .args(["--dir", &dir.display().to_string()])
+        .args(["--out", &out.display().to_string()])
+        .status()
+        .expect("run sweep");
+    assert!(status.success(), "sweep reported violations: {status:?}");
+
+    let json = std::fs::read_to_string(&out).expect("read artifact");
+    assert!(json.contains("\"schema\": \"crash-replay-file-v1\""));
+    assert!(json.contains("\"kill_points\": 12"));
+    // Kill points are drawn below each FTL's op horizon, so every child
+    // dies mid-run; a child that exits cleanly would mean the sweep
+    // tested nothing.
+    assert!(
+        json.contains("\"children_sigkilled\": 12"),
+        "expected all 12 children SIGKILLed:\n{json}"
+    );
+    assert!(
+        !json.contains("unmapped after kill"),
+        "violations in:\n{json}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One child driven by hand: it must die of signal 9 exactly (not a
+/// panic, not an abort), leave a mountable image behind, and log its
+/// acknowledged writes to the sidecar file.
+#[test]
+fn child_dies_of_sigkill_and_leaves_a_mountable_image() {
+    let dir = temp_dir("child");
+    let img = dir.join("dev.img");
+    let acks = dir.join("dev.acks");
+    let status = Command::new(exe())
+        .arg("child")
+        .args(["--img", &img.display().to_string()])
+        .args(["--acks", &acks.display().to_string()])
+        .args(["--ftl", "tpftl", "--kill-at", "40", "--tear", "1000"])
+        .args(["--requests", "150", "--seed", "7"])
+        .status()
+        .expect("run child");
+    assert_eq!(status.signal(), Some(9), "child must die of SIGKILL");
+    assert_eq!(status.code(), None, "SIGKILL leaves no exit code");
+
+    let acked = std::fs::read(&acks).expect("acks file exists");
+    assert!(!acked.is_empty(), "prefill acks must be logged");
+    let flash = tpftl_flash::Flash::open_file(&img).expect("image mounts after kill -9");
+    assert!(flash.scan_valid().next().is_some(), "device retains pages");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A kill point beyond the run: the child completes the trace, flushes,
+/// and exits 0 — and the image then satisfies the oracle for *every*
+/// write in the trace.
+#[test]
+fn child_with_unreachable_kill_point_exits_clean() {
+    let dir = temp_dir("clean");
+    let img = dir.join("dev.img");
+    let acks = dir.join("dev.acks");
+    let status = Command::new(exe())
+        .arg("child")
+        .args(["--img", &img.display().to_string()])
+        .args(["--acks", &acks.display().to_string()])
+        .args(["--ftl", "dftl"])
+        .args(["--kill-at", &u64::MAX.to_string(), "--tear", "0"])
+        .args(["--requests", "80", "--seed", "3"])
+        .status()
+        .expect("run child");
+    assert!(status.success(), "child must exit 0: {status:?}");
+    assert!(tpftl_flash::Flash::open_file(&img).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
