@@ -45,7 +45,13 @@ use tpftl_sim::{CrashHarness, CrashOutcome};
 use tpftl_trace::SyntheticSpec;
 
 /// The FTLs under test: every cached-mapping design in the tree.
-const KINDS: [FtlKind; 4] = [FtlKind::Tpftl, FtlKind::Dftl, FtlKind::Sftl, FtlKind::Cdftl];
+const KINDS: [FtlKind; 5] = [
+    FtlKind::Tpftl,
+    FtlKind::Dftl,
+    FtlKind::Sftl,
+    FtlKind::Cdftl,
+    FtlKind::Learned,
+];
 
 struct Opts {
     quick: bool,

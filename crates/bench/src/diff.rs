@@ -196,14 +196,25 @@ pub fn diff_reports_named(
     baseline_name: &str,
     fresh_name: &str,
 ) -> Result<DiffReport, String> {
+    // Validate the exclusion list up front: a stray comma (`"shard,,chan"`)
+    // yields an empty item, which is always a typo — rejecting it loudly
+    // beats silently ignoring a pattern the caller thought was active.
+    let exclude_pats: Vec<&str> = match exclude {
+        None => Vec::new(),
+        Some(list) => {
+            let pats: Vec<&str> = list.split(',').map(str::trim).collect();
+            if pats.iter().any(|p| p.is_empty()) {
+                return Err(format!(
+                    "exclude list {list:?} contains an empty pattern \
+                     (stray leading, trailing, or doubled comma?)"
+                ));
+            }
+            pats
+        }
+    };
     let keep = |key: &(String, String)| {
         let id = format!("{}/{}", key.0, key.1);
-        filter.is_none_or(|f| id.contains(f))
-            && !exclude.is_some_and(|list| {
-                list.split(',')
-                    .map(str::trim)
-                    .any(|pat| !pat.is_empty() && id.contains(pat))
-            })
+        filter.is_none_or(|f| id.contains(f)) && !exclude_pats.iter().any(|pat| id.contains(pat))
     };
     let base: Vec<_> = index_report(baseline, baseline_name)?
         .into_iter()
@@ -424,6 +435,25 @@ mod tests {
         assert!(!d.has_failure());
         assert_eq!(d.rows.len(), 1);
         assert_eq!(d.rows[0].scenario, "a");
+    }
+
+    #[test]
+    fn exclude_rejects_empty_patterns() {
+        let base = report(&[("a", "x", 100.0)]);
+        let fresh = report(&[("a", "x", 101.0)]);
+        let err = diff_reports_named(&base, &fresh, 15.0, None, Some("shard,,chan"), "b", "f")
+            .unwrap_err();
+        assert!(err.contains("shard,,chan"), "got: {err}");
+        assert!(err.contains("empty pattern"), "got: {err}");
+        // A whitespace-only item trims to empty and is rejected too.
+        let err =
+            diff_reports_named(&base, &fresh, 15.0, None, Some("shard, "), "b", "f").unwrap_err();
+        assert!(err.contains("empty pattern"), "got: {err}");
+        // Items are trimmed, so a spaced-out but well-formed list works.
+        let ok = diff_reports_named(&base, &fresh, 15.0, None, Some(" shard , chan "), "b", "f")
+            .unwrap();
+        assert!(!ok.has_failure());
+        assert_eq!(ok.rows.len(), 1);
     }
 
     #[test]

@@ -14,8 +14,15 @@ use tpftl_sim::{ShardedSsd, Ssd};
 use tpftl_trace::presets::Workload;
 use tpftl_trace::SyntheticSpec;
 
-/// The FTLs under test: the paper's cached-mapping designs.
-pub const KINDS: [FtlKind; 4] = [FtlKind::Tpftl, FtlKind::Dftl, FtlKind::Sftl, FtlKind::Cdftl];
+/// The FTLs under test: the paper's cached-mapping designs plus the
+/// LearnedFTL extension.
+pub const KINDS: [FtlKind; 5] = [
+    FtlKind::Tpftl,
+    FtlKind::Dftl,
+    FtlKind::Sftl,
+    FtlKind::Cdftl,
+    FtlKind::Learned,
+];
 
 /// Shard counts benchmarked by default (`ftlbench` with no `--shards`).
 pub const DEFAULT_SHARD_COUNTS: [u32; 2] = [2, 4];
@@ -254,6 +261,65 @@ pub fn bench_replay(kind: FtlKind, samples: usize, requests: usize) -> Record {
                 "translation_writes",
                 Value::UInt(report.translation_writes()),
             ),
+            ("predict_hits", Value::UInt(report.ftl_stats.predict_hits)),
+            ("mispredicts", Value::UInt(report.ftl_stats.mispredicts)),
+        ],
+    }
+}
+
+/// The semi-sequential read trace that showcases the learned mapping:
+/// long aligned read streams over a fully pre-filled device, with a thin
+/// random-write stream that keeps invalidation in the picture. A
+/// piecewise-linear index covers the streams with a handful of segments,
+/// so LearnedFTL should serve most translations with zero flash reads
+/// where the demand-paged baselines pay a translation-page load per miss.
+pub fn semiseq_spec(config: &SsdConfig, requests: usize) -> SyntheticSpec {
+    SyntheticSpec {
+        name: "semiseq".to_string(),
+        requests,
+        address_bytes: config.logical_bytes,
+        write_ratio: 0.1,
+        seq_read_frac: 0.85,
+        seq_write_frac: 0.5,
+        mean_burst_len: 64.0,
+        align_sectors: 8,
+        ..SyntheticSpec::default()
+    }
+}
+
+/// Macro replay of the semi-sequential trace (see [`semiseq_spec`]): the
+/// row's payload is translation reads per request next to the learned
+/// predictor's hit/mispredict counters, so the zero-read translation win
+/// (and its validation cost) is directly visible against the baselines.
+pub fn bench_replay_semiseq(kind: FtlKind, samples: usize, requests: usize) -> Record {
+    let mut config = micro_config();
+    config.prefill_frac = 1.0;
+    let spec = semiseq_spec(&config, requests);
+    let mut ns = Vec::new();
+    let mut last = None;
+    for _ in 0..samples {
+        let ftl = kind.build(&config).expect("FTL builds");
+        let mut ssd = Ssd::new(ftl, config.clone()).expect("ssd builds");
+        let t = Instant::now();
+        let report = ssd.run(spec.iter(SEED)).expect("replay");
+        ns.push(t.elapsed().as_nanos() as f64 / requests as f64);
+        last = Some(report);
+    }
+    let report = last.expect("at least one sample");
+    Record {
+        scenario: "replay_semiseq".to_string(),
+        ftl: kind.build(&config).expect("FTL builds").name(),
+        ops_per_iter: requests as u64,
+        samples: ns,
+        extra: vec![
+            ("hit_ratio", Value::Float(report.hit_ratio())),
+            ("translation_reads", Value::UInt(report.translation_reads())),
+            (
+                "translation_reads_per_req",
+                Value::Float(report.translation_reads() as f64 / requests as f64),
+            ),
+            ("predict_hits", Value::UInt(report.ftl_stats.predict_hits)),
+            ("mispredicts", Value::UInt(report.ftl_stats.mispredicts)),
         ],
     }
 }
@@ -415,6 +481,7 @@ pub fn run_all(
             FtlKind::Dftl => "DFTL",
             FtlKind::Sftl => "S-FTL",
             FtlKind::Cdftl => "CDFTL",
+            FtlKind::Learned => "LearnedFTL(e4)",
             _ => "?",
         };
         if wanted("translate_hit", name) {
@@ -428,6 +495,15 @@ pub fn run_all(
         }
         if wanted("replay_financial1", name) {
             records.push(bench_replay(kind, samples.min(3), replay_requests));
+        }
+    }
+    for (kind, name) in [
+        (FtlKind::Learned, "LearnedFTL(e4)"),
+        (FtlKind::Dftl, "DFTL"),
+        (FtlKind::Tpftl, "TPFTL(rsbc)"),
+    ] {
+        if wanted("replay_semiseq", name) {
+            records.push(bench_replay_semiseq(kind, samples.min(3), replay_requests));
         }
     }
     if wanted("gc_valid_scan", "flash") {

@@ -230,6 +230,17 @@ impl SsdEnv {
         }
     }
 
+    /// Records a learned-index prediction outcome: validated hit or
+    /// mispredict routed to the fallback path.
+    #[inline]
+    pub fn note_predict(&mut self, hit: bool) {
+        if hit {
+            self.stats.predict_hits += 1;
+        } else {
+            self.stats.mispredicts += 1;
+        }
+    }
+
     // ---- Data-page operations ----------------------------------------------
 
     /// Allocates and programs a data page for `lpn`; returns its PPN.

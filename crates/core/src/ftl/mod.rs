@@ -11,6 +11,7 @@ mod blocklevel;
 mod cdftl;
 mod dftl;
 mod fast;
+mod learned;
 mod optimal;
 mod sftl;
 mod tpftl;
@@ -20,6 +21,7 @@ pub use blocklevel::BlockLevelFtl;
 pub use cdftl::Cdftl;
 pub use dftl::Dftl;
 pub use fast::{FastFtl, MergeStats};
+pub use learned::{LearnedFtl, DEFAULT_EPSILON};
 pub use optimal::OptimalFtl;
 pub use sftl::Sftl;
 pub use tpftl::{TpFtl, TpftlConfig};
@@ -267,6 +269,7 @@ const _: () = {
     assert_send::<Dftl>();
     assert_send::<Sftl>();
     assert_send::<Cdftl>();
+    assert_send::<LearnedFtl>();
     assert_send::<OptimalFtl>();
     assert_send::<BlockLevelFtl>();
     assert_send::<FastFtl>();

@@ -12,6 +12,15 @@
 //!   per-block erase counters;
 //! * the mapping cache starts cold, exactly like the paper's experiments.
 //!
+//! Volatile *acceleration* state is deliberately not reconstructed:
+//! mount builds a fresh FTL instance, so RAM-only indexes layered over
+//! the persisted table — in particular LearnedFTL's piecewise-linear
+//! segments (`crate::ftl::LearnedFtl`) — are discarded wholesale. The
+//! durable answer never depends on them (every prediction is validated
+//! against the OOB reverse map before use), and the learned index is
+//! rebuilt on demand after remount via `LearnedFtl::warm_up` or the
+//! normal writeback-triggered refits.
+//!
 //! [`mount`] performs the clean-shutdown reconstruction. [`crash_mount`]
 //! handles the hard case: the power failed at an *arbitrary* instant
 //! (see `tpftl_flash::FaultPlan`), so the persisted mapping table may be

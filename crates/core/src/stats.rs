@@ -29,6 +29,14 @@ pub struct FtlStats {
     pub user_page_writes: u64,
     /// Host requests served.
     pub requests: u64,
+    /// Learned-index predictions validated by the OOB reverse map and
+    /// served with zero translation reads (LearnedFTL only).
+    #[serde(default)]
+    pub predict_hits: u64,
+    /// Learned-index predictions rejected by validation and routed to the
+    /// demand-paged fallback (LearnedFTL only).
+    #[serde(default)]
+    pub mispredicts: u64,
 }
 
 impl FtlStats {
@@ -57,6 +65,16 @@ impl FtlStats {
         ratio(self.user_page_writes, self.user_page_accesses())
     }
 
+    /// Fraction of lookups served by a validated learned prediction.
+    pub fn predict_hit_ratio(&self) -> f64 {
+        ratio(self.predict_hits, self.lookups)
+    }
+
+    /// Fraction of learned predictions that failed validation.
+    pub fn mispredict_ratio(&self) -> f64 {
+        ratio(self.mispredicts, self.predict_hits + self.mispredicts)
+    }
+
     /// Adds `other`'s counters into `self` — the sharded engine's
     /// per-shard stats merge (pure integer sums, order-independent).
     pub fn merge_from(&mut self, other: &FtlStats) {
@@ -69,6 +87,8 @@ impl FtlStats {
         self.user_page_reads += other.user_page_reads;
         self.user_page_writes += other.user_page_writes;
         self.requests += other.requests;
+        self.predict_hits += other.predict_hits;
+        self.mispredicts += other.mispredicts;
     }
 }
 
@@ -96,12 +116,16 @@ mod tests {
             user_page_reads: 3,
             user_page_writes: 7,
             requests: 6,
+            predict_hits: 2,
+            mispredicts: 2,
         };
         assert!((s.hit_ratio() - 0.7).abs() < 1e-12);
         assert!((s.dirty_replacement_prob() - 0.25).abs() < 1e-12);
         assert!((s.gc_hit_ratio() - 1.0).abs() < 1e-12);
         assert_eq!(s.user_page_accesses(), 10);
         assert!((s.page_write_ratio() - 0.7).abs() < 1e-12);
+        assert!((s.predict_hit_ratio() - 0.2).abs() < 1e-12);
+        assert!((s.mispredict_ratio() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! simulate [options]
 //!   --ftl NAME          dftl | tpftl | tpftl:FLAGS | sftl | cdftl | zftl |
-//!                       fast | blocklevel | optimal        (default tpftl)
+//!                       fast | blocklevel | optimal | learned (default tpftl)
 //!   --workload NAME     financial1|financial2|msr-ts|msr-src (default financial1)
 //!   --trace FILE        replay an SPC/MSR trace file instead of a preset
 //!   --requests N        synthetic request count              (default 200000)
@@ -161,6 +161,7 @@ fn parse_ftl(name: &str) -> Result<FtlSpec, String> {
         "cdftl" => FtlSpec::Kind(FtlKind::Cdftl),
         "optimal" => FtlSpec::Kind(FtlKind::Optimal),
         "blocklevel" => FtlSpec::Kind(FtlKind::BlockLevel),
+        "learned" => FtlSpec::Kind(FtlKind::Learned),
         "fast" => FtlSpec::Fast,
         "zftl" => FtlSpec::Zftl,
         s if s.starts_with("tpftl:") => {

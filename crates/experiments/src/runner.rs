@@ -6,7 +6,9 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
-use tpftl_core::ftl::{BlockLevelFtl, Cdftl, Dftl, Ftl, OptimalFtl, Sftl, TpFtl, TpftlConfig};
+use tpftl_core::ftl::{
+    BlockLevelFtl, Cdftl, Dftl, Ftl, LearnedFtl, OptimalFtl, Sftl, TpFtl, TpftlConfig,
+};
 use tpftl_core::{Result, SsdConfig};
 use tpftl_sim::{CacheSampler, RunReport, ShardedRunReport, ShardedSsd, Ssd};
 use tpftl_trace::presets::Workload;
@@ -40,6 +42,9 @@ pub enum FtlKind {
     Optimal,
     /// Block-level FTL (extension; not in the paper's plots).
     BlockLevel,
+    /// LearnedFTL (extension): piecewise-linear learned mapping with
+    /// OOB-validated predictions and a demand-paged fallback.
+    Learned,
 }
 
 impl FtlKind {
@@ -80,6 +85,7 @@ impl FtlKind {
             FtlKind::Cdftl => Box::new(Cdftl::new(config)?),
             FtlKind::Optimal => Box::new(OptimalFtl::new(config)),
             FtlKind::BlockLevel => Box::new(BlockLevelFtl::new(config)),
+            FtlKind::Learned => Box::new(LearnedFtl::new(config)?),
         })
     }
 }
@@ -272,6 +278,7 @@ mod tests {
             FtlKind::Sftl,
             FtlKind::Cdftl,
             FtlKind::Optimal,
+            FtlKind::Learned,
         ] {
             let ftl = kind.build(&config).unwrap();
             assert!(!ftl.name().is_empty());

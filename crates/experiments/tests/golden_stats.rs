@@ -98,6 +98,11 @@ fn cases() -> Vec<(FtlKind, Workload, f64, &'static str)> {
             "CDFTL req=40000 lk=56827 hit=42516 rep=33733 drep=27750 gcu=3988 gch=121 upr=12056 upw=44771 tr=18755 tw=16571 er=722 gcd=467 gcm=3988 gct=255 gctm=1482 ce=1535 cb=8192 resp=40804d6ab4824f51",
         ),
         (FtlKind::Dftl, Workload::Financial1, 0.005, "DFTL req=10000 lk=14046 hit=10815 rep=2207 drep=1716 gcu=0 gch=0 upr=3012 upw=11034 tr=4947 tw=1716 er=0 gcd=0 gcm=0 gct=0 gctm=0 ce=1024 cb=8192 resp=407230cbccc6fd99"),
+        // LearnedFTL on the prefilled Financial1 volume: warm-up learns
+        // the sequential prefill table, the trace's overwrites then split
+        // segments, so the fingerprint pins fitter, validator, and
+        // split-invalidation behaviour together.
+        (FtlKind::Learned, Workload::Financial1, 0.005, "LearnedFTL(e4) req=10000 lk=14046 hit=11539 rep=3283 drep=2947 gcu=0 gch=0 upr=3012 upw=11034 tr=5454 tw=2947 er=0 gcd=0 gcm=0 gct=0 gctm=0 ce=512 cb=8192 resp=40741bbe9cd109e0"),
         (FtlKind::Sftl, Workload::Financial1, 0.005, "S-FTL req=10000 lk=14046 hit=12567 rep=1983 drep=675 gcu=0 gch=0 upr=3012 upw=11034 tr=2013 tw=675 er=0 gcd=0 gcm=0 gct=0 gctm=0 ce=30816 cb=8040 resp=4070343cdd203e1b"),
         (FtlKind::Cdftl, Workload::Financial1, 0.005, "CDFTL req=10000 lk=14046 hit=10556 rep=7677 drep=5892 gcu=0 gch=0 upr=3012 upw=11034 tr=3490 tw=2635 er=0 gcd=0 gcm=0 gct=0 gctm=0 ce=1535 cb=8192 resp=40731bbedb14f735"),
     ]

@@ -28,9 +28,12 @@
 //!   points this at a tmpfs path).
 //! * `--out`        — JSON output path (default `CRASH_matrix_file.json`).
 //!
-//! Kill points round-robin over the four mapping-persisting FTLs (DFTL,
-//! CDFTL, S-FTL, TPFTL). Exits non-zero on any oracle violation, any
-//! child that dies of the wrong signal, or any unmountable image.
+//! Kill points round-robin over the five mapping-persisting FTLs (DFTL,
+//! CDFTL, S-FTL, TPFTL, LearnedFTL). Exits non-zero on any oracle
+//! violation, any child that dies of the wrong signal, or any
+//! unmountable image. LearnedFTL's piecewise-linear segments live only
+//! in RAM: both remounts implicitly check that recovery rebuilds a
+//! correct table with the learned state discarded.
 
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -38,7 +41,7 @@ use std::os::unix::process::ExitStatusExt;
 use std::path::{Path, PathBuf};
 
 use serde_json::Value;
-use tpftl_core::ftl::{Cdftl, Dftl, Ftl, Sftl, TpFtl, TpftlConfig};
+use tpftl_core::ftl::{Cdftl, Dftl, Ftl, LearnedFtl, Sftl, TpFtl, TpftlConfig};
 use tpftl_core::{recovery, FtlError, SsdConfig};
 use tpftl_flash::{FaultPlan, Flash, FlashError, Lpn, Ppn};
 use tpftl_sim::{CrashHarness, Ssd};
@@ -48,7 +51,7 @@ const PAGE_BYTES: u64 = 4096;
 
 /// The mapping-persisting FTLs (Optimal keeps no state on flash, so a
 /// kill-9 durability oracle does not apply to it).
-const FTL_NAMES: [&str; 4] = ["dftl", "cdftl", "sftl", "tpftl"];
+const FTL_NAMES: [&str; 5] = ["dftl", "cdftl", "sftl", "tpftl", "learned"];
 
 /// Small starved device with prefill high enough that GC runs mid-trace
 /// (same shape as the in-RAM crash matrix).
@@ -76,6 +79,7 @@ fn build_ftl(name: &str, c: &SsdConfig) -> Box<dyn Ftl> {
         "cdftl" => Box::new(Cdftl::new(c).expect("budget")),
         "sftl" => Box::new(Sftl::new(c).expect("budget")),
         "tpftl" => Box::new(TpFtl::new(c, TpftlConfig::full()).expect("budget")),
+        "learned" => Box::new(LearnedFtl::new(c).expect("budget")),
         other => {
             eprintln!("unknown FTL {other:?}");
             std::process::exit(2);

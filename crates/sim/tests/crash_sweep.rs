@@ -7,7 +7,7 @@
 //! interleaving of (program, invalidate, erase) can lose data, this test
 //! finds it.
 
-use tpftl_core::ftl::{TpFtl, TpftlConfig};
+use tpftl_core::ftl::{LearnedFtl, TpFtl, TpftlConfig};
 use tpftl_core::SsdConfig;
 use tpftl_flash::FaultPlan;
 use tpftl_sim::CrashHarness;
@@ -73,6 +73,36 @@ fn power_loss_at_every_op_index_is_recoverable() {
         interrupted_kinds.len() >= 3,
         "sweep only interrupted {interrupted_kinds:?}"
     );
+}
+
+/// The same exhaustive sweep for the learned FTL: its piecewise-linear
+/// segments are RAM-only acceleration state, so a power loss at any op
+/// index must recover to the identical durable answer the demand-paged
+/// table gives — recovery discards the learned index wholesale and the
+/// remounted device depends only on persisted translation pages.
+#[test]
+fn learned_ftl_power_loss_at_every_op_index_is_recoverable() {
+    let h = CrashHarness::new(config(), trace());
+    let build = || LearnedFtl::new(h.config()).expect("budget");
+    let horizon = h.baseline_ops(build()).expect("baseline");
+    assert!(
+        horizon > 1_000,
+        "trace too small to be interesting: {horizon}"
+    );
+    for op in 0..horizon {
+        let out = h
+            .run_to_crash(build(), FaultPlan::at_op(op))
+            .unwrap_or_else(|e| panic!("op {op}: harness error {e}"));
+        assert!(
+            out.is_durable(),
+            "op {op} ({:?}): {} violations, {} verify errors\n{}\n{}",
+            out.recovery.interrupted,
+            out.violations.len(),
+            out.verify.errors.len(),
+            out.violations.join("\n"),
+            out.verify.errors.join("\n")
+        );
+    }
 }
 
 /// The other trigger modes — Kth translation-page write, Kth erase —

@@ -1,16 +1,18 @@
 //! Cross-FTL differential oracle: every FTL is a different implementation
 //! of the *same* address-translation contract, so replaying one fixed-seed
-//! mixed trace through DFTL, CDFTL, S-FTL, TPFTL, and the Optimal
-//! pure-RAM baseline must produce identical read-your-writes behaviour.
-//! A host-side shadow map (`HashMap<Lpn, u64>`, LPN → write version) is
-//! the ground truth all five are checked against — and then against each
-//! other.
+//! mixed trace through DFTL, CDFTL, S-FTL, TPFTL, LearnedFTL, and the
+//! Optimal pure-RAM baseline must produce identical read-your-writes
+//! behaviour. A host-side shadow map (`HashMap<Lpn, u64>`, LPN → write
+//! version) is the ground truth all six are checked against — and then
+//! against each other.
 
 use std::collections::HashMap;
 
 use tpftl_core::driver;
 use tpftl_core::env::SsdEnv;
-use tpftl_core::ftl::{AccessCtx, Cdftl, Dftl, Ftl, OptimalFtl, Sftl, TpFtl, TpftlConfig};
+use tpftl_core::ftl::{
+    AccessCtx, Cdftl, Dftl, Ftl, LearnedFtl, OptimalFtl, Sftl, TpFtl, TpftlConfig,
+};
 use tpftl_core::{gc, SsdConfig};
 use tpftl_flash::Lpn;
 use tpftl_trace::{IoRequest, SyntheticSpec};
@@ -30,6 +32,7 @@ fn ftls(c: &SsdConfig) -> Vec<Box<dyn Ftl>> {
         Box::new(Cdftl::new(c).expect("budget")),
         Box::new(Sftl::new(c).expect("budget")),
         Box::new(TpFtl::new(c, TpftlConfig::full()).expect("budget")),
+        Box::new(LearnedFtl::new(c).expect("budget")),
         Box::new(OptimalFtl::new(c)),
     ]
 }
@@ -114,7 +117,7 @@ fn all_ftls_agree_on_read_your_writes() {
         );
         results.push((name, mapped, shadowed));
     }
-    // Differential step: all five FTLs expose the identical logical state.
+    // Differential step: all six FTLs expose the identical logical state.
     let (ref_name, ref_mapped, _) = &results[0];
     for (name, mapped, _) in &results[1..] {
         assert_eq!(
@@ -126,5 +129,58 @@ fn all_ftls_agree_on_read_your_writes() {
     assert!(
         !ref_mapped.is_empty(),
         "trace wrote nothing — oracle is vacuous"
+    );
+}
+
+/// Adversarial trace for the learned mapping: a fully pre-filled device
+/// (so warm-up learns the whole table) churned by overwrite-heavy traffic
+/// that relocates pages, splits segments, and forces GC-batch refits over
+/// scattered payloads. Stale or ε-inexact segments must surface as
+/// *mispredicts* — validated rejections routed to the fallback — never as
+/// a wrong answer: every read inside the replay and the final sweep
+/// verifies the OOB tag of the page the FTL translated to.
+#[test]
+fn learned_ftl_overwrite_churn_mispredicts_safely() {
+    let mut c = config();
+    c.prefill_frac = 1.0;
+    let spec = SyntheticSpec {
+        requests: 3_000,
+        address_bytes: 8 << 20,
+        write_ratio: 0.9,
+        mean_req_sectors: 8.0,
+        ..SyntheticSpec::default()
+    };
+    let reqs: Vec<IoRequest> = spec.iter(1234).collect();
+
+    let mut ftl = LearnedFtl::new(&c).expect("budget");
+    let mut env = SsdEnv::new(c.clone()).expect("env");
+    driver::bootstrap(&mut ftl, &mut env).expect("bootstrap");
+
+    for req in &reqs {
+        let first = (req.offset / PAGE_BYTES) as Lpn;
+        let count = req.page_count(PAGE_BYTES) as u32;
+        driver::serve_request(&mut ftl, &mut env, first, count, req.is_write())
+            .expect("serve survives churn");
+    }
+    // Full read sweep: the environment panics on any OOB tag mismatch, so
+    // a mispredict that slipped past validation cannot hide here.
+    for lpn in 0..c.logical_pages() as Lpn {
+        gc::ensure_free(&mut ftl, &mut env).expect("gc");
+        let ppn = ftl
+            .translate(&mut env, lpn, &AccessCtx::single(false))
+            .expect("translate")
+            .unwrap_or_else(|| panic!("prefilled LPN {lpn} lost its mapping"));
+        env.read_data_page(ppn, lpn).expect("readback");
+    }
+
+    let s = &env.stats;
+    assert!(
+        s.predict_hits > 0,
+        "learned index never validated a prediction — the trace is vacuous"
+    );
+    assert!(
+        s.mispredicts > 0,
+        "overwrite churn produced no mispredicts — the adversarial trace \
+         no longer exercises stale/inexact segments"
     );
 }

@@ -1,7 +1,7 @@
 //! File-backed vs RAM-backed differential test.
 //!
 //! The file backing is a *mirror*: attaching it must not change a single
-//! observable bit of device behaviour. For all five FTLs, the same
+//! observable bit of device behaviour. For all six FTLs, the same
 //! fixed-seed trace replayed on a RAM device and on a file-backed device
 //! must produce bit-identical run reports (op counters, response-time
 //! float bits, golden fingerprints ride on these), bit-identical flash
@@ -9,12 +9,12 @@
 //! (reopened purely from media), bit-identical remount outcomes.
 //!
 //! A second sweep compares the crash harness's RAM path against its
-//! file-backed path under injected power loss for the four
+//! file-backed path under injected power loss for the five
 //! mapping-persisting FTLs: `CrashOutcome`s must match exactly.
 
 use std::path::PathBuf;
 
-use tpftl_core::ftl::{Cdftl, Dftl, Ftl, OptimalFtl, Sftl, TpFtl, TpftlConfig};
+use tpftl_core::ftl::{Cdftl, Dftl, Ftl, LearnedFtl, OptimalFtl, Sftl, TpFtl, TpftlConfig};
 use tpftl_core::{recovery, SsdConfig};
 use tpftl_flash::{FaultPlan, Flash, Lpn};
 use tpftl_sim::{CrashHarness, Ssd};
@@ -33,6 +33,7 @@ fn ftls(c: &SsdConfig) -> Vec<Box<dyn Ftl>> {
         Box::new(Cdftl::new(c).expect("budget")),
         Box::new(Sftl::new(c).expect("budget")),
         Box::new(TpFtl::new(c, TpftlConfig::full()).expect("budget")),
+        Box::new(LearnedFtl::new(c).expect("budget")),
         Box::new(OptimalFtl::new(c)),
     ]
 }
@@ -55,7 +56,7 @@ fn temp_path(name: &str) -> PathBuf {
 }
 
 /// Clean replay: reports, flash state, and post-power-cycle remount
-/// outcomes are bit-identical between RAM and file backing, for all five
+/// outcomes are bit-identical between RAM and file backing, for all six
 /// FTLs (Optimal included — it persists no translation pages, and its
 /// mirrored data pages must still round-trip).
 #[test]
@@ -138,6 +139,7 @@ fn crash_outcomes_match_between_ram_and_file_paths() {
         ("tpftl", |c| {
             Box::new(TpFtl::new(c, TpftlConfig::full()).expect("budget"))
         }),
+        ("learned", |c| Box::new(LearnedFtl::new(c).expect("budget"))),
     ];
     for (key, mk) in kinds {
         let path = temp_path(&format!("crash_{key}"));
