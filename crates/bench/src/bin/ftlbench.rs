@@ -9,24 +9,70 @@
 //!
 //! ```text
 //! ftlbench [--quick] [--filter SUBSTR] [--shards LIST] [--channels LIST]
-//!          [--out PATH]
+//!          [--open-loop LIST] [--qd LIST] [--out PATH]
 //! ```
 //!
-//! * `--quick`    — fewer samples/ops; the CI smoke configuration.
-//! * `--filter`   — run only scenarios whose `scenario/ftl` id contains
+//! * `--quick`     — fewer samples/ops; the CI smoke configuration.
+//! * `--filter`    — run only scenarios whose `scenario/ftl` id contains
 //!   SUBSTR.
-//! * `--shards`   — comma-separated shard counts for the sharded-replay
+//! * `--shards`    — comma-separated shard counts for the sharded-replay
 //!   rows (powers of two; default `2,4`; `none` skips them).
-//! * `--channels` — channel counts for the channel-scaling replay rows
+//! * `--channels`  — channel counts for the channel-scaling replay rows
 //!   (all five FTLs per count; `sweep` = `1,2,4,8`; default none).
-//! * `--out`      — JSON output path (default `BENCH_ftl.json`).
+//! * `--open-loop` — offered load levels (requests/second) for the
+//!   open-loop saturation sweep: all six FTLs per (rate, queue depth)
+//!   plus TPFTL shard-scaling rows (`sweep` = `50000,250000,1000000`;
+//!   default none).
+//! * `--qd`        — per-shard submission-queue depths for the open-loop
+//!   rows (powers of two; default `64,1024`).
+//! * `--out`       — JSON output path (default `BENCH_ftl.json`).
 
 struct Opts {
     quick: bool,
     filter: Option<String>,
     shards: Vec<u32>,
     channels: Vec<u32>,
+    open_loop: Vec<u64>,
+    qd: Vec<u32>,
     out: String,
+}
+
+fn parse_open_loop(raw: &str) -> Vec<u64> {
+    if raw == "none" {
+        return Vec::new();
+    }
+    if raw == "sweep" {
+        return tpftl_bench::SWEEP_OPEN_LOOP_RATES.to_vec();
+    }
+    raw.split(',')
+        .map(|part| {
+            let n: u64 = part.trim().parse().unwrap_or_else(|_| {
+                eprintln!("--open-loop needs comma-separated rates (req/s), got {part:?}");
+                std::process::exit(2);
+            });
+            if n == 0 {
+                eprintln!("--open-loop rates must be positive");
+                std::process::exit(2);
+            }
+            n
+        })
+        .collect()
+}
+
+fn parse_qd(raw: &str) -> Vec<u32> {
+    raw.split(',')
+        .map(|part| {
+            let n: u32 = part.trim().parse().unwrap_or_else(|_| {
+                eprintln!("--qd needs comma-separated depths, got {part:?}");
+                std::process::exit(2);
+            });
+            if !n.is_power_of_two() {
+                eprintln!("--qd entries must be powers of two, got {n}");
+                std::process::exit(2);
+            }
+            n
+        })
+        .collect()
 }
 
 fn parse_channels(raw: &str) -> Vec<u32> {
@@ -76,6 +122,8 @@ fn parse_opts() -> Opts {
         filter: None,
         shards: tpftl_bench::DEFAULT_SHARD_COUNTS.to_vec(),
         channels: Vec::new(),
+        open_loop: Vec::new(),
+        qd: tpftl_bench::SWEEP_OPEN_LOOP_DEPTHS.to_vec(),
         out: "BENCH_ftl.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -91,12 +139,14 @@ fn parse_opts() -> Opts {
             "--filter" => opts.filter = args.next(),
             "--shards" => opts.shards = parse_shards(&need(&mut args, "--shards")),
             "--channels" => opts.channels = parse_channels(&need(&mut args, "--channels")),
+            "--open-loop" => opts.open_loop = parse_open_loop(&need(&mut args, "--open-loop")),
+            "--qd" => opts.qd = parse_qd(&need(&mut args, "--qd")),
             "--out" => opts.out = need(&mut args, "--out"),
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: ftlbench [--quick] [--filter SUBSTR] [--shards LIST] \
-                     [--channels LIST] [--out PATH]"
+                     [--channels LIST] [--open-loop LIST] [--qd LIST] [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -112,6 +162,8 @@ fn main() {
         opts.filter.as_deref(),
         &opts.shards,
         &opts.channels,
+        &opts.open_loop,
+        &opts.qd,
     );
     tpftl_bench::print_table(&records);
     let json = tpftl_bench::render_json(&records, opts.quick);

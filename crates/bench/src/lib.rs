@@ -11,7 +11,10 @@ pub mod scenarios;
 
 use serde_json::Value;
 
-pub use scenarios::{run_all, Record, DEFAULT_SHARD_COUNTS, SWEEP_CHANNEL_COUNTS};
+pub use scenarios::{
+    run_all, Record, DEFAULT_SHARD_COUNTS, SWEEP_CHANNEL_COUNTS, SWEEP_OPEN_LOOP_DEPTHS,
+    SWEEP_OPEN_LOOP_RATES, SWEEP_OPEN_LOOP_SHARDS,
+};
 
 /// Renders a slice of records as the `ftlbench-v1` JSON document.
 pub fn render_json(records: &[Record], quick: bool) -> Value {

@@ -10,7 +10,7 @@ use tpftl_core::ftl::{AccessCtx, Ftl};
 use tpftl_core::SsdConfig;
 use tpftl_experiments::runner::{device_config, FtlKind, SEED};
 use tpftl_flash::{Flash, FlashGeometry, FlashTopology, OpPurpose};
-use tpftl_sim::{ShardedSsd, Ssd};
+use tpftl_sim::{OpenLoopOpts, ShardedSsd, Ssd};
 use tpftl_trace::presets::Workload;
 use tpftl_trace::SyntheticSpec;
 
@@ -31,6 +31,20 @@ pub const DEFAULT_SHARD_COUNTS: [u32; 2] = [2, 4];
 /// (`ftlbench --channels sweep`). No channel rows run by default: the
 /// sweep re-replays the macro trace once per (FTL, channel count).
 pub const SWEEP_CHANNEL_COUNTS: [u32; 4] = [1, 2, 4, 8];
+
+/// Offered load levels (host requests/second) of the open-loop
+/// saturation sweep (`ftlbench --open-loop sweep`): one comfortably
+/// below single-core service rate, one near it, one far beyond it.
+pub const SWEEP_OPEN_LOOP_RATES: [u64; 3] = [50_000, 250_000, 1_000_000];
+
+/// Queue depths (per-shard submission-queue slots) of the open-loop
+/// sweep: shallow enough to backpressure early vs deep enough to absorb
+/// arrival bursts.
+pub const SWEEP_OPEN_LOOP_DEPTHS: [u32; 2] = [64, 1024];
+
+/// Shard counts of the open-loop TPFTL shard-scaling rows (the all-FTL
+/// rows run at the maximum).
+pub const SWEEP_OPEN_LOOP_SHARDS: [u32; 3] = [1, 2, 4];
 
 /// One timed record, already reduced over its samples.
 pub struct Record {
@@ -364,6 +378,7 @@ pub fn bench_replay_channels(
             ("sim_resp_avg_us", Value::Float(report.sim.resp_avg_us)),
             ("sim_resp_p50_us", Value::Float(report.sim.resp_p50_us)),
             ("sim_resp_p99_us", Value::Float(report.sim.resp_p99_us)),
+            ("sim_resp_p999_us", Value::Float(report.sim.resp_p999_us)),
         ],
     }
 }
@@ -447,6 +462,67 @@ pub fn bench_sharded_write_gc(shards: u32, samples: usize, requests: usize) -> R
     }
 }
 
+/// Open-loop steady-state drive (see `tpftl_sim::ShardedSsd::run_open_loop`):
+/// the Financial1 trace's addresses offered at a fixed wall-clock arrival
+/// rate through per-shard submission/completion queue pairs. Unlike every
+/// other scenario, the payload is not ns/op but **offered vs achieved
+/// throughput and wall-clock response percentiles measured against the
+/// arrival schedule** (no coordinated omission) — the row's `ns_per_op`
+/// (wall ns per offered request) is recorded for the table yet carries
+/// machine noise by design, so open-loop rows are excluded from the
+/// strict bench-diff gate.
+pub fn bench_open_loop(
+    kind: FtlKind,
+    shards: u32,
+    queue_depth: u32,
+    offered_rps: u64,
+    requests: usize,
+) -> Record {
+    let workload = Workload::Financial1;
+    let mut config = device_config(workload);
+    // The paper cache split N ways leaves S-FTL/CDFTL under their fixed
+    // per-instance minimum (a worst-case translation page plus buffers),
+    // so every open-loop row — same floor for all six FTLs, keeping the
+    // comparison fair — guarantees 16 KiB of usable cache per shard.
+    config.cache_bytes = config
+        .cache_bytes
+        .max(config.gtd_bytes() + shards as usize * 16 * 1024);
+    let spec = workload.spec(requests);
+    let mut ssd = ShardedSsd::new(&config, shards, |_, c| kind.build(c)).expect("sharded ssd");
+    let out = ssd
+        .run_open_loop(
+            spec.iter(SEED),
+            OpenLoopOpts {
+                offered_rps: offered_rps as f64,
+                queue_depth: queue_depth as usize,
+            },
+        )
+        .expect("open-loop run");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    Record {
+        scenario: format!("open_loop_s{shards}_qd{queue_depth}_r{offered_rps}"),
+        ftl: kind.build(&config).expect("FTL builds").name(),
+        ops_per_iter: out.requests,
+        samples: vec![out.wall_us * 1e3 / out.requests.max(1) as f64],
+        extra: vec![
+            ("offered_rps", Value::Float(out.offered_rps)),
+            ("achieved_rps", Value::Float(out.achieved_rps)),
+            ("resp_avg_us", Value::Float(out.resp_avg_us)),
+            ("resp_p50_us", Value::Float(out.resp_p50_us)),
+            ("resp_p99_us", Value::Float(out.resp_p99_us)),
+            ("resp_p999_us", Value::Float(out.resp_p999_us)),
+            ("queue_depth", Value::UInt(queue_depth as u64)),
+            ("shards", Value::UInt(shards as u64)),
+            ("sub_requests", Value::UInt(out.sub_requests)),
+            ("backlog_peak", Value::UInt(out.backlog_peak)),
+            ("parks", Value::UInt(out.doorbells.parks)),
+            ("wakeups", Value::UInt(out.doorbells.wakeups)),
+            ("cores", Value::UInt(cores as u64)),
+            ("hit_ratio", Value::Float(out.report.merged.hit_ratio())),
+        ],
+    }
+}
+
 /// Runs the full scenario matrix; `quick` selects the CI smoke sizing.
 /// `filter` restricts the run to scenarios whose `scenario/ftl` id
 /// contains it — non-matching scenarios are skipped, not run-and-hidden,
@@ -455,12 +531,17 @@ pub fn bench_sharded_write_gc(shards: u32, samples: usize, requests: usize) -> R
 /// pass `&[]` to skip the sharded scenarios entirely). `channel_counts`
 /// selects the channel-scaling replay rows (all five FTLs including
 /// Optimal, per channel count; `&[]` — the default CLI behaviour — skips
-/// them).
+/// them). `open_loop_rates`/`open_loop_depths` select the open-loop
+/// saturation sweep: all six FTLs per (rate, depth) at the maximum of
+/// [`SWEEP_OPEN_LOOP_SHARDS`], plus TPFTL shard-scaling rows at the
+/// middle rate (`&[]` rates — the default — skips the sweep).
 pub fn run_all(
     quick: bool,
     filter: Option<&str>,
     shard_counts: &[u32],
     channel_counts: &[u32],
+    open_loop_rates: &[u64],
+    open_loop_depths: &[u32],
 ) -> Vec<Record> {
     let (warmup, samples) = if quick { (1, 3) } else { (3, 9) };
     let (hit_ops, miss_ops, write_ops) = if quick {
@@ -546,6 +627,54 @@ pub fn run_all(
                     replay_requests,
                     channels,
                 ));
+            }
+        }
+    }
+    if !open_loop_rates.is_empty() {
+        let ol_requests = if quick { 4_000 } else { 20_000 };
+        let depths: &[u32] = if open_loop_depths.is_empty() {
+            &SWEEP_OPEN_LOOP_DEPTHS
+        } else {
+            open_loop_depths
+        };
+        let all_shards = *SWEEP_OPEN_LOOP_SHARDS.last().unwrap();
+        // All six FTLs (the five cached-mapping designs plus the Optimal
+        // page-map upper bound) at every (rate, depth), full shard count.
+        for &rate in open_loop_rates {
+            for &depth in depths {
+                let label = format!("open_loop_s{all_shards}_qd{depth}_r{rate}");
+                for (kind, name) in [
+                    (FtlKind::Tpftl, "TPFTL(rsbc)"),
+                    (FtlKind::Dftl, "DFTL"),
+                    (FtlKind::Sftl, "S-FTL"),
+                    (FtlKind::Cdftl, "CDFTL"),
+                    (FtlKind::Learned, "LearnedFTL(e4)"),
+                    (FtlKind::Optimal, "Optimal"),
+                ] {
+                    if wanted(&label, name) {
+                        records.push(bench_open_loop(kind, all_shards, depth, rate, ol_requests));
+                    }
+                }
+            }
+        }
+        // Shard-scaling rows: TPFTL at the middle rate across the shard
+        // sweep (the maximum is already covered above).
+        let mid_rate = open_loop_rates[open_loop_rates.len() / 2];
+        for &shards in &SWEEP_OPEN_LOOP_SHARDS {
+            if shards == all_shards {
+                continue;
+            }
+            for &depth in depths {
+                let label = format!("open_loop_s{shards}_qd{depth}_r{mid_rate}");
+                if wanted(&label, "TPFTL(rsbc)") {
+                    records.push(bench_open_loop(
+                        FtlKind::Tpftl,
+                        shards,
+                        depth,
+                        mid_rate,
+                        ol_requests,
+                    ));
+                }
             }
         }
     }

@@ -1,0 +1,35 @@
+//! Multi-core shard-scaling gate.
+//!
+//! On a runner with at least four cores, a four-shard Financial1 replay
+//! must beat the single-shard replay by ≥ 1.5× median throughput —
+//! the point of the queue-pair engine is that shards actually scale.
+//! On smaller boxes (the common 1-vCPU dev container) the ratio is
+//! meaningless — four workers time-slice one core — so the test
+//! self-skips and CI falls back to the coarse single-core overhead gate
+//! in the sharded-replay bench rows.
+
+use tpftl_bench::scenarios::bench_replay_sharded;
+use tpftl_experiments::runner::FtlKind;
+
+#[test]
+fn four_shards_scale_on_a_multicore_runner() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 4 {
+        eprintln!("skipping shard-scaling gate: {cores} core(s) < 4");
+        return;
+    }
+    const REQUESTS: usize = 60_000;
+    // Best-of-3 medians on both sides: the gate compares capability, not
+    // one noisy sample, and 1.5× leaves headroom under CI noise for an
+    // engine that scales near-linearly when healthy.
+    let s1 = bench_replay_sharded(FtlKind::Tpftl, 3, REQUESTS, 1);
+    let s4 = bench_replay_sharded(FtlKind::Tpftl, 3, REQUESTS, 4);
+    let ratio = s1.median() / s4.median();
+    assert!(
+        ratio >= 1.5,
+        "4-shard replay only {ratio:.2}x the 1-shard throughput \
+         ({:.0} vs {:.0} ns/req) on a {cores}-core runner",
+        s4.median(),
+        s1.median()
+    );
+}

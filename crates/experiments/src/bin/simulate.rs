@@ -23,6 +23,14 @@
 //!   --backing PATH      mirror the flash array to a persistent device
 //!                       file at PATH (created/truncated; fsynced after
 //!                       the run). Single-queue engine only.
+//!   --open-loop RATE    drive the trace open-loop at RATE requests per
+//!                       second of wall-clock time through the sharded
+//!                       engine's NVMe-style queue pairs and report
+//!                       offered vs achieved throughput with response
+//!                       percentiles measured against the arrival
+//!                       schedule (no coordinated omission)
+//!   --qd N              per-shard submission-queue depth for --open-loop
+//!                       (power of two, default 64)
 //!   --json              emit the full RunReport as JSON
 //! ```
 
@@ -31,14 +39,15 @@ use std::process::ExitCode;
 use tpftl_core::config::GcPolicy;
 use tpftl_core::ftl::{FastFtl, Ftl, TpftlConfig, Zftl};
 use tpftl_experiments::runner::FtlKind;
-use tpftl_sim::{ShardedSsd, Ssd};
+use tpftl_sim::{OpenLoopOpts, ShardedSsd, Ssd};
 use tpftl_trace::presets::Workload;
 use tpftl_trace::{parse, IoRequest};
 
 const USAGE: &str = "usage: simulate [--ftl NAME] [--workload NAME | --trace FILE]
                 [--requests N] [--seed N] [--cache-bytes N | --cache-frac F]
                 [--prefill F] [--gc POLICY] [--buffer PAGES] [--shards N]
-                [--channels N] [--ways N] [--bus-us F] [--backing PATH] [--json]
+                [--channels N] [--ways N] [--bus-us F] [--backing PATH]
+                [--open-loop RATE] [--qd N] [--json]
 run `simulate --help` for details";
 
 struct Options {
@@ -57,6 +66,8 @@ struct Options {
     ways: u32,
     bus_us: f64,
     backing: Option<String>,
+    open_loop: Option<f64>,
+    qd: usize,
     json: bool,
 }
 
@@ -77,6 +88,8 @@ fn parse_args() -> Result<Options, String> {
         ways: 1,
         bus_us: 0.0,
         backing: None,
+        open_loop: None,
+        qd: 64,
         json: false,
     };
     let mut args = std::env::args().skip(1);
@@ -137,6 +150,19 @@ fn parse_args() -> Result<Options, String> {
             "--ways" => o.ways = value("--ways")?.parse().map_err(|e| format!("{e}"))?,
             "--bus-us" => o.bus_us = value("--bus-us")?.parse().map_err(|e| format!("{e}"))?,
             "--backing" => o.backing = Some(value("--backing")?),
+            "--open-loop" => {
+                let rate: f64 = value("--open-loop")?.parse().map_err(|e| format!("{e}"))?;
+                if !(rate.is_finite() && rate > 0.0) {
+                    return Err(format!("--open-loop rate must be positive, got {rate}"));
+                }
+                o.open_loop = Some(rate);
+            }
+            "--qd" => {
+                o.qd = value("--qd")?.parse().map_err(|e| format!("{e}"))?;
+                if !o.qd.is_power_of_two() {
+                    return Err(format!("--qd must be a power of two, got {}", o.qd));
+                }
+            }
             "--json" => o.json = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
@@ -255,6 +281,81 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(rate) = o.open_loop {
+        if o.buffer > 0 || o.backing.is_some() {
+            eprintln!("--buffer/--backing are not supported with --open-loop");
+            return ExitCode::FAILURE;
+        }
+        if !config.supports_shards(o.shards) {
+            eprintln!(
+                "cannot split {} logical pages into {} shards",
+                config.logical_pages(),
+                o.shards
+            );
+            return ExitCode::FAILURE;
+        }
+        let mut ssd = match ShardedSsd::new(&config, o.shards, |_, c| spec.build(c)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot build sharded SSD: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let opts = OpenLoopOpts {
+            offered_rps: rate,
+            queue_depth: o.qd,
+        };
+        let out = match ssd.run_open_loop(trace, opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if o.json {
+            use serde_json::Value;
+            let report = serde_json::to_value(&out.report).expect("serializable");
+            let doc = Value::Object(vec![
+                ("offered_rps".to_string(), Value::Float(out.offered_rps)),
+                ("achieved_rps".to_string(), Value::Float(out.achieved_rps)),
+                ("requests".to_string(), Value::UInt(out.requests as u64)),
+                ("sub_requests".to_string(), Value::UInt(out.sub_requests)),
+                ("wall_us".to_string(), Value::Float(out.wall_us)),
+                ("resp_avg_us".to_string(), Value::Float(out.resp_avg_us)),
+                ("resp_p50_us".to_string(), Value::Float(out.resp_p50_us)),
+                ("resp_p99_us".to_string(), Value::Float(out.resp_p99_us)),
+                ("resp_p999_us".to_string(), Value::Float(out.resp_p999_us)),
+                ("backlog_peak".to_string(), Value::UInt(out.backlog_peak)),
+                ("parks".to_string(), Value::UInt(out.doorbells.parks)),
+                ("wakeups".to_string(), Value::UInt(out.doorbells.wakeups)),
+                ("report".to_string(), report),
+            ]);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&doc).expect("serializable")
+            );
+            return ExitCode::SUCCESS;
+        }
+        print_report(&out.report.merged, &config);
+        println!(
+            "shards:              {} (per-shard requests {:?}, imbalance {:.3})",
+            o.shards, out.report.load.requests, out.report.load.imbalance
+        );
+        println!(
+            "open loop:           offered {:.0} req/s, achieved {:.0} req/s (qd {})",
+            out.offered_rps, out.achieved_rps, o.qd
+        );
+        println!(
+            "wall response:       avg {:.1} / p50 {:.1} / p99 {:.1} / p999 {:.1} us",
+            out.resp_avg_us, out.resp_p50_us, out.resp_p99_us, out.resp_p999_us
+        );
+        println!(
+            "queueing:            backlog peak {}, {} parks / {} wakeups",
+            out.backlog_peak, out.doorbells.parks, out.doorbells.wakeups
+        );
+        return ExitCode::SUCCESS;
+    }
 
     if o.shards > 1 {
         if o.buffer > 0 {
@@ -416,7 +517,7 @@ fn print_report(report: &tpftl_sim::RunReport, config: &tpftl_core::SsdConfig) {
         sim.device_us, sim.makespan_us
     );
     println!(
-        "sim response:        avg {:.1} / p50 {:.1} / p99 {:.1} us",
-        sim.resp_avg_us, sim.resp_p50_us, sim.resp_p99_us
+        "sim response:        avg {:.1} / p50 {:.1} / p99 {:.1} / p999 {:.1} us",
+        sim.resp_avg_us, sim.resp_p50_us, sim.resp_p99_us, sim.resp_p999_us
     );
 }

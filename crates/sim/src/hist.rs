@@ -92,6 +92,22 @@ impl LatencyHistogram {
         self.total += other.total;
     }
 
+    /// Median (`quantile(0.5)`).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile (`quantile(0.99)`).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile (`quantile(0.999)`) — the tail the open-loop
+    /// SLO sweeps report.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+
     /// The `q`-quantile (`0.0 < q <= 1.0`) as the lower edge of the bucket
     /// holding the sample of that rank; `0.0` on an empty histogram.
     pub fn quantile(&self, q: f64) -> f64 {
@@ -126,6 +142,10 @@ mod tests {
         assert_eq!(h.quantile(0.5), 24.0);
         // p99 is still the 25 µs bucket (the 99th of 100 samples)...
         assert_eq!(h.quantile(0.99), 24.0);
+        assert_eq!(h.p50(), h.quantile(0.5));
+        assert_eq!(h.p99(), h.quantile(0.99));
+        // p999 of 100 samples is the rank-100 sample: the outlier.
+        assert_eq!(h.p999(), 1408.0);
         // ...and p100 is the erase outlier: 1500 = 2^10 * 1.46 → edge 1408.
         assert_eq!(h.quantile(1.0), 1408.0);
         assert_eq!(h.total(), 100);

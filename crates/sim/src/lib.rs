@@ -14,6 +14,7 @@
 mod buffer;
 mod crash;
 mod hist;
+pub mod queue;
 mod report;
 mod sampler;
 mod shard;
@@ -22,9 +23,10 @@ mod ssd;
 pub use buffer::{BufferStats, WriteBuffer};
 pub use crash::{CrashHarness, CrashOutcome};
 pub use hist::LatencyHistogram;
+pub use queue::{DoorbellRing, DoorbellStats, QueuePair};
 pub use report::{RunReport, SimTiming};
 pub use sampler::{CacheSample, CacheSampler, MAX_DIRTY_BUCKET};
-pub use shard::{ShardLoadStats, ShardedRunReport, ShardedSsd};
+pub use shard::{OpenLoopOpts, OpenLoopReport, ShardLoadStats, ShardedRunReport, ShardedSsd};
 pub use ssd::Ssd;
 
 pub use tpftl_core::Result;

@@ -30,6 +30,10 @@ pub struct SimTiming {
     pub resp_p50_us: f64,
     /// 99th-percentile simulated response time in µs.
     pub resp_p99_us: f64,
+    /// 99.9th-percentile simulated response time in µs. Defaults to 0 so
+    /// reports recorded before PR 9 still deserialize.
+    #[serde(default)]
+    pub resp_p999_us: f64,
 }
 
 /// Everything the paper's figures plot, for one (FTL, workload) run.

@@ -284,8 +284,9 @@ impl<F: Ftl> Ssd<F> {
                     } else {
                         self.sim_resp_sum_us / self.responses as f64
                     },
-                    resp_p50_us: self.sim_hist.quantile(0.5),
-                    resp_p99_us: self.sim_hist.quantile(0.99),
+                    resp_p50_us: self.sim_hist.p50(),
+                    resp_p99_us: self.sim_hist.p99(),
+                    resp_p999_us: self.sim_hist.p999(),
                 }
             },
         }

@@ -15,6 +15,7 @@
 //!   read/write fractions, address-space footprint) plus a configurable
 //!   skewed temporal locality, verified by the [`stats`] analyzer.
 
+mod openloop;
 mod request;
 mod shard;
 mod zipf;
@@ -24,6 +25,7 @@ pub mod presets;
 pub mod stats;
 pub mod synth;
 
+pub use openloop::{fixed_rate, FixedRate};
 pub use request::{Dir, IoRequest};
 pub use shard::ShardSplitter;
 pub use stats::TraceStats;

@@ -1,0 +1,127 @@
+//! Open-loop arrival scheduling: rewrite a trace's arrival times to a
+//! fixed offered rate.
+//!
+//! A *closed-loop* driver (everything `ftlbench` measured before PR 9)
+//! submits the next request only when the previous one finishes, so a
+//! slow device silently throttles its own load and the latency
+//! distribution never shows the queueing a steady stream would build up —
+//! the classic *coordinated omission* trap. An *open-loop* driver fixes
+//! the arrival schedule up front: request `k` arrives at `k / rate`
+//! whether or not the device has kept up, and its response time is
+//! measured against that **scheduled** arrival. Backlog therefore shows
+//! up as latency, exactly as it would for independent users.
+//!
+//! [`FixedRate`] is the schedule half: it passes a trace's payloads
+//! (offset, length, direction) through untouched and replaces each
+//! arrival time with the fixed-rate schedule. The driving half — pacing
+//! submission by the wall clock and harvesting completions — lives in
+//! `tpftl_sim` (`ShardedSsd::run_open_loop`).
+
+use crate::IoRequest;
+
+/// Iterator adapter that re-times a trace to a fixed arrival rate.
+///
+/// Request `k` (zero-based) is stamped `arrival_us = k * 1e6 / rate`.
+/// Payloads are preserved, so the address pattern (and therefore every
+/// deterministic FTL counter) is identical to the source trace.
+///
+/// # Examples
+///
+/// ```
+/// use tpftl_trace::{fixed_rate, Dir, IoRequest};
+///
+/// let trace = (0..3).map(|i| IoRequest::new(999.0, i * 4096, 4096, Dir::Write));
+/// let arrivals: Vec<f64> = fixed_rate(trace, 50_000.0).map(|r| r.arrival_us).collect();
+/// assert_eq!(arrivals, vec![0.0, 20.0, 40.0]); // 50k req/s = one per 20 µs
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedRate<I> {
+    inner: I,
+    interarrival_us: f64,
+    index: u64,
+}
+
+impl<I: Iterator<Item = IoRequest>> Iterator for FixedRate<I> {
+    type Item = IoRequest;
+
+    fn next(&mut self) -> Option<IoRequest> {
+        let mut req = self.inner.next()?;
+        req.arrival_us = self.index as f64 * self.interarrival_us;
+        self.index += 1;
+        Some(req)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// Wraps `trace` so arrivals follow a fixed `rate_rps` (requests per
+/// second) schedule starting at time zero.
+///
+/// # Panics
+///
+/// Panics when `rate_rps` is not finite and positive.
+pub fn fixed_rate<I>(trace: I, rate_rps: f64) -> FixedRate<I::IntoIter>
+where
+    I: IntoIterator<Item = IoRequest>,
+{
+    assert!(
+        rate_rps.is_finite() && rate_rps > 0.0,
+        "offered rate must be a positive, finite requests/second"
+    );
+    FixedRate {
+        inner: trace.into_iter(),
+        interarrival_us: 1e6 / rate_rps,
+        index: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dir, SyntheticSpec};
+
+    #[test]
+    fn schedule_is_exact_and_payloads_survive() {
+        let src: Vec<IoRequest> = (0..100)
+            .map(|i| IoRequest::new(i as f64 * 3.5, i * 8192, 512, Dir::Read))
+            .collect();
+        let out: Vec<IoRequest> = fixed_rate(src.iter().copied(), 250_000.0).collect();
+        assert_eq!(out.len(), src.len());
+        for (k, (orig, re)) in src.iter().zip(&out).enumerate() {
+            assert_eq!(re.arrival_us, k as f64 * 4.0, "250k req/s = 4 µs apart");
+            assert_eq!(
+                (re.offset, re.len, re.dir),
+                (orig.offset, orig.len, orig.dir)
+            );
+        }
+    }
+
+    #[test]
+    fn retiming_a_synthetic_trace_keeps_the_address_stream() {
+        let spec = SyntheticSpec {
+            requests: 500,
+            address_bytes: 64 << 20,
+            ..SyntheticSpec::default()
+        };
+        let plain: Vec<IoRequest> = spec.iter(42).collect();
+        let paced: Vec<IoRequest> = fixed_rate(spec.iter(42), 10_000.0).collect();
+        assert_eq!(plain.len(), paced.len());
+        assert!(plain
+            .iter()
+            .zip(&paced)
+            .all(|(a, b)| (a.offset, a.len, a.dir) == (b.offset, b.len, b.dir)));
+        // Arrivals are the only difference, and they are exactly linear.
+        assert!(paced
+            .iter()
+            .enumerate()
+            .all(|(k, r)| r.arrival_us == k as f64 * 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive, finite")]
+    fn zero_rate_is_rejected() {
+        let _ = fixed_rate(std::iter::empty::<IoRequest>(), 0.0);
+    }
+}
