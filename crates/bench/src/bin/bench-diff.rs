@@ -11,8 +11,9 @@
 //!
 //! ```text
 //! bench-diff [--quick] [--baseline PATH] [--fresh PATH]
-//!            [--threshold PCT] [--filter SUBSTR] [--exclude LIST]
-//!            [--shards LIST] [--channels LIST] [--update] [--out PATH]
+//!            [--threshold PCT] [--wa-threshold PCT] [--filter SUBSTR]
+//!            [--exclude LIST] [--shards LIST] [--channels LIST]
+//!            [--update] [--out PATH]
 //! ```
 //!
 //! * `--quick`     — CI smoke sizing for the fresh run (fewer samples/ops).
@@ -20,6 +21,12 @@
 //! * `--fresh`     — compare an existing `ftlbench-v1` report instead of
 //!   running the benchmarks.
 //! * `--threshold` — regression threshold in percent (default 15).
+//! * `--wa-threshold` — write-amp regression threshold in percent
+//!   (default 5; the GC-quality rows are deterministic, so this gate is
+//!   much tighter than the wall-clock one). Write-amp rows are only
+//!   compared when both reports were produced at the same sizing (their
+//!   `quick` flags match): GC copy amplification depends on how long the
+//!   device has aged, so quick-vs-full comparisons are meaningless.
 //! * `--filter`    — restrict both sides to `scenario/ftl` ids containing
 //!   SUBSTR.
 //! * `--exclude`   — drop `scenario/ftl` ids containing any of the
@@ -42,6 +49,7 @@ struct Opts {
     baseline: String,
     fresh: Option<String>,
     threshold: f64,
+    wa_threshold: f64,
     filter: Option<String>,
     exclude: Option<String>,
     shards: Vec<u32>,
@@ -97,6 +105,7 @@ fn parse_opts() -> Opts {
         baseline: "BENCH_ftl.json".to_string(),
         fresh: None,
         threshold: 15.0,
+        wa_threshold: 5.0,
         filter: None,
         exclude: None,
         shards: tpftl_bench::DEFAULT_SHARD_COUNTS.to_vec(),
@@ -123,6 +132,13 @@ fn parse_opts() -> Opts {
                     std::process::exit(2);
                 });
             }
+            "--wa-threshold" => {
+                let raw = need(&mut args, "--wa-threshold");
+                opts.wa_threshold = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--wa-threshold needs a number, got {raw:?}");
+                    std::process::exit(2);
+                });
+            }
             "--filter" => opts.filter = Some(need(&mut args, "--filter")),
             "--exclude" => opts.exclude = Some(need(&mut args, "--exclude")),
             "--shards" => opts.shards = parse_shards(&need(&mut args, "--shards")),
@@ -133,8 +149,9 @@ fn parse_opts() -> Opts {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: bench-diff [--quick] [--baseline PATH] [--fresh PATH] \
-                     [--threshold PCT] [--filter SUBSTR] [--exclude LIST] \
-                     [--shards LIST] [--channels LIST] [--update] [--out PATH]"
+                     [--threshold PCT] [--wa-threshold PCT] [--filter SUBSTR] \
+                     [--exclude LIST] [--shards LIST] [--channels LIST] \
+                     [--update] [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -196,6 +213,34 @@ fn main() {
     });
 
     print!("{}", report.render_table());
+
+    // GC-quality gate: only meaningful when both sides aged the device
+    // equally long (same `quick` sizing); the live-run side's sizing is
+    // opts.quick itself.
+    let quick_of = |doc: &Value| doc.get("quick").and_then(Value::as_bool).unwrap_or(false);
+    let same_sizing = quick_of(&baseline) == quick_of(&fresh);
+    let wa_report = if same_sizing {
+        let r = tpftl_bench::diff::diff_write_amp(
+            &baseline,
+            &fresh,
+            opts.wa_threshold,
+            opts.filter.as_deref(),
+            &format!("baseline {}", opts.baseline),
+            &format!("fresh {fresh_name}"),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+        if !r.rows.is_empty() {
+            print!("{}", r.render_table());
+        }
+        Some(r)
+    } else {
+        eprintln!("note: write-amp gate skipped (baseline and fresh sizing differ)");
+        None
+    };
+
     let text = serde_json::to_string_pretty(&report.to_json()).expect("render JSON");
     if let Err(e) = std::fs::write(&opts.out, text + "\n") {
         eprintln!("error: cannot write {}: {e}", opts.out);
@@ -204,7 +249,29 @@ fn main() {
     eprintln!("wrote {}", opts.out);
 
     if opts.update {
-        let rewritten = report
+        // Rows only the write-amp gate flagged must be refreshed too, or a
+        // deliberate workload retune could never be committed; fold them
+        // into the ns-gate report as synthetic regressions before applying.
+        let mut gate = report;
+        if let Some(wa) = &wa_report {
+            for r in wa.rows.iter().filter(|r| r.regressed && r.fresh.is_some()) {
+                if !gate
+                    .rows
+                    .iter()
+                    .any(|g| g.scenario == r.scenario && g.ftl == r.ftl)
+                {
+                    gate.rows.push(tpftl_bench::diff::DiffRow {
+                        scenario: r.scenario.clone(),
+                        ftl: r.ftl.clone(),
+                        baseline_ns: None,
+                        fresh_ns: None,
+                        delta_pct: None,
+                        status: tpftl_bench::diff::RowStatus::Regression,
+                    });
+                }
+            }
+        }
+        let rewritten = gate
             .rows
             .iter()
             .filter(|r| {
@@ -215,7 +282,7 @@ fn main() {
             })
             .count();
         let updated =
-            tpftl_bench::diff::apply_update(&baseline, &fresh, &report).unwrap_or_else(|e| {
+            tpftl_bench::diff::apply_update(&baseline, &fresh, &gate).unwrap_or_else(|e| {
                 eprintln!("error: {e}");
                 std::process::exit(2);
             });
@@ -231,11 +298,20 @@ fn main() {
         return;
     }
 
-    if report.has_failure() {
-        eprintln!(
-            "FAIL: regression over {}% (or missing scenario) vs {}",
-            opts.threshold, opts.baseline
-        );
+    let wa_failed = wa_report.as_ref().is_some_and(|r| r.has_failure());
+    if report.has_failure() || wa_failed {
+        if wa_failed {
+            eprintln!(
+                "FAIL: GC copy amplification regressed over {}% vs {}",
+                opts.wa_threshold, opts.baseline
+            );
+        }
+        if report.has_failure() {
+            eprintln!(
+                "FAIL: regression over {}% (or missing scenario) vs {}",
+                opts.threshold, opts.baseline
+            );
+        }
         std::process::exit(1);
     }
     eprintln!("OK: within {}% of {}", opts.threshold, opts.baseline);

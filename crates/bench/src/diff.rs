@@ -270,6 +270,130 @@ pub fn diff_reports_named(
     })
 }
 
+/// One compared GC-quality row of the write-amp gate.
+#[derive(Debug, Clone)]
+pub struct WriteAmpRow {
+    pub scenario: String,
+    pub ftl: String,
+    pub baseline: f64,
+    /// `None` when the fresh report dropped the row.
+    pub fresh: Option<f64>,
+    pub delta_pct: Option<f64>,
+    pub regressed: bool,
+}
+
+/// The write-amp comparison: the GC-quality counterpart of the ns/op gate.
+#[derive(Debug)]
+pub struct WriteAmpReport {
+    pub threshold_pct: f64,
+    pub rows: Vec<WriteAmpRow>,
+}
+
+impl WriteAmpReport {
+    /// True when any row's GC copy amplification regressed or vanished.
+    pub fn has_failure(&self) -> bool {
+        self.rows.iter().any(|r| r.regressed)
+    }
+
+    /// Renders the human-readable write-amp table.
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "{:<26} {:<14} {:>9} {:>9} {:>8}  {}\n",
+            "scenario", "ftl", "base wa", "fresh wa", "delta", "status"
+        );
+        for r in &self.rows {
+            let fresh = r
+                .fresh
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.3}"));
+            let delta = r
+                .delta_pct
+                .map_or_else(|| "-".to_string(), |d| format!("{d:+.1}%"));
+            let status = match (r.regressed, r.fresh) {
+                (false, _) => "ok",
+                (true, Some(_)) => "REGRESSION",
+                (true, None) => "MISSING",
+            };
+            out.push_str(&format!(
+                "{:<26} {:<14} {:>9.3} {:>9} {:>8}  {status}\n",
+                r.scenario, r.ftl, r.baseline, fresh, delta
+            ));
+        }
+        out
+    }
+}
+
+/// Extracts `(scenario, ftl) -> write_amp` from the rows that carry the
+/// GC copy-amplification payload (the aging/tenant GC-quality rows).
+fn index_write_amp(report: &Value, name: &str) -> Result<Vec<IndexedRow>, String> {
+    let results = report
+        .get("results")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{name}: report has no `results` array"))?;
+    Ok(results
+        .iter()
+        .filter_map(|r| {
+            let (scenario, ftl) = record_key(r)?;
+            let wa = r.get("write_amp")?.as_f64()?;
+            Some(((scenario.to_string(), ftl.to_string()), wa))
+        })
+        .collect())
+}
+
+/// Dedicated write-amp regression gate: every baseline row carrying a
+/// `write_amp` field must stay within `threshold_pct` of its committed GC
+/// copy amplification (missing rows fail, fresh-only rows are ignored as
+/// new). The simulation is deterministic, so unlike the wall-clock ns/op
+/// gate this threshold can be tight — it exists to absorb intentional
+/// small workload retunes, not machine noise. Reports with no write-amp
+/// rows produce an empty (passing) result, so the gate is safe to run
+/// unconditionally.
+pub fn diff_write_amp(
+    baseline: &Value,
+    fresh: &Value,
+    threshold_pct: f64,
+    filter: Option<&str>,
+    baseline_name: &str,
+    fresh_name: &str,
+) -> Result<WriteAmpReport, String> {
+    let keep =
+        |key: &(String, String)| filter.is_none_or(|f| format!("{}/{}", key.0, key.1).contains(f));
+    let base: Vec<_> = index_write_amp(baseline, baseline_name)?
+        .into_iter()
+        .filter(|(k, _)| keep(k))
+        .collect();
+    let new = index_write_amp(fresh, fresh_name)?;
+    let rows = base
+        .into_iter()
+        .map(|((scenario, ftl), baseline)| {
+            let fresh = new
+                .iter()
+                .find(|((s, f), _)| *s == scenario && *f == ftl)
+                .map(|&(_, wa)| wa);
+            let (delta_pct, regressed) = match fresh {
+                // An absolute floor of 0.01 keeps near-zero baselines from
+                // turning round-off into a percentage explosion.
+                Some(wa) => {
+                    let delta = (wa - baseline) / baseline.max(0.01) * 100.0;
+                    (Some(delta), delta > threshold_pct)
+                }
+                None => (None, true),
+            };
+            WriteAmpRow {
+                scenario,
+                ftl,
+                baseline,
+                fresh,
+                delta_pct,
+                regressed,
+            }
+        })
+        .collect();
+    Ok(WriteAmpReport {
+        threshold_pct,
+        rows,
+    })
+}
+
 /// The `(scenario, ftl)` key of one result record, if it has both fields.
 fn record_key(record: &Value) -> Option<(&str, &str)> {
     Some((
@@ -479,6 +603,67 @@ mod tests {
         // The updated baseline passes the gate against the same fresh run.
         let regate = diff_reports(&updated, &fresh, 15.0, None).unwrap();
         assert!(!regate.has_failure());
+    }
+
+    /// Report builder whose rows also carry the GC-quality payload.
+    fn gc_report(rows: &[(&str, &str, f64, f64)]) -> Value {
+        Value::Object(vec![(
+            "results".to_string(),
+            Value::Array(
+                rows.iter()
+                    .map(|(s, f, ns, wa)| {
+                        Value::Object(vec![
+                            ("scenario".to_string(), Value::Str(s.to_string())),
+                            ("ftl".to_string(), Value::Str(f.to_string())),
+                            ("ns_per_op".to_string(), Value::Float(*ns)),
+                            ("write_amp".to_string(), Value::Float(*wa)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+
+    #[test]
+    fn write_amp_gate_catches_copy_regressions() {
+        let base = gc_report(&[
+            ("aging_write_gc_multi", "TPFTL", 500.0, 0.5),
+            ("aging_write_gc_greedy", "TPFTL", 500.0, 1.0),
+        ]);
+        let fresh = gc_report(&[
+            ("aging_write_gc_multi", "TPFTL", 900.0, 0.8), // +60% wa: fails
+            ("aging_write_gc_greedy", "TPFTL", 400.0, 1.02), // +2%: ok
+        ]);
+        let d = diff_write_amp(&base, &fresh, 5.0, None, "b", "f").unwrap();
+        assert!(d.has_failure());
+        assert!(d.rows[0].regressed);
+        assert!((d.rows[0].delta_pct.unwrap() - 60.0).abs() < 1e-9);
+        assert!(!d.rows[1].regressed);
+        // The wall-clock change alone never trips this gate; only the
+        // write_amp payload does.
+        let better = gc_report(&[
+            ("aging_write_gc_multi", "TPFTL", 9000.0, 0.4),
+            ("aging_write_gc_greedy", "TPFTL", 9000.0, 1.0),
+        ]);
+        let d = diff_write_amp(&base, &better, 5.0, None, "b", "f").unwrap();
+        assert!(!d.has_failure());
+    }
+
+    #[test]
+    fn write_amp_gate_ignores_rows_without_the_payload() {
+        // Plain latency rows (no write_amp field) are invisible to the
+        // gate, so ordinary reports pass vacuously...
+        let base = report(&[("miss_scan", "TPFTL", 100.0)]);
+        let fresh = report(&[("miss_scan", "TPFTL", 400.0)]);
+        let d = diff_write_amp(&base, &fresh, 5.0, None, "b", "f").unwrap();
+        assert!(d.rows.is_empty());
+        assert!(!d.has_failure());
+        // ...but a baseline GC-quality row silently dropped from the
+        // fresh report fails, exactly like the ns/op gate's MISSING.
+        let base = gc_report(&[("tenant_mix_multi", "DFTL", 500.0, 0.9)]);
+        let d = diff_write_amp(&base, &fresh, 5.0, None, "b", "f").unwrap();
+        assert!(d.has_failure());
+        assert!(d.rows[0].fresh.is_none());
     }
 
     #[test]

@@ -30,24 +30,27 @@ pub fn render_json(records: &[Record], quick: bool) -> Value {
 
 /// Prints the human-readable results table to stdout.
 pub fn print_table(records: &[Record]) {
+    let fmt_extra = |r: &Record, key: &str, digits: usize| {
+        r.extra
+            .iter()
+            .find(|(k, _)| *k == key)
+            .and_then(|(_, v)| v.as_f64())
+            .map_or_else(|| "-".to_string(), |x| format!("{x:.digits$}"))
+    };
     println!(
-        "{:<26} {:<14} {:>12} {:>12} {:>10}",
-        "scenario", "ftl", "median ns/op", "min ns/op", "hit ratio"
+        "{:<26} {:<14} {:>12} {:>12} {:>10} {:>10} {:>9}",
+        "scenario", "ftl", "median ns/op", "min ns/op", "hit ratio", "write amp", "erase cv"
     );
     for r in records {
-        let hit = r
-            .extra
-            .iter()
-            .find(|(k, _)| *k == "hit_ratio")
-            .and_then(|(_, v)| v.as_f64())
-            .map_or_else(|| "-".to_string(), |h| format!("{h:.4}"));
         println!(
-            "{:<26} {:<14} {:>12.1} {:>12.1} {:>10}",
+            "{:<26} {:<14} {:>12.1} {:>12.1} {:>10} {:>10} {:>9}",
             r.scenario,
             r.ftl,
             r.median(),
             r.min(),
-            hit
+            fmt_extra(r, "hit_ratio", 4),
+            fmt_extra(r, "write_amp", 3),
+            fmt_extra(r, "erase_cv", 3),
         );
     }
 }

@@ -4,6 +4,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use serde_json::Value;
+use tpftl_core::config::{GcPolicy, StreamCount};
 use tpftl_core::driver;
 use tpftl_core::env::SsdEnv;
 use tpftl_core::ftl::{AccessCtx, Ftl};
@@ -12,7 +13,7 @@ use tpftl_experiments::runner::{device_config, FtlKind, SEED};
 use tpftl_flash::{Flash, FlashGeometry, FlashTopology, OpPurpose};
 use tpftl_sim::{OpenLoopOpts, ShardedSsd, Ssd};
 use tpftl_trace::presets::Workload;
-use tpftl_trace::SyntheticSpec;
+use tpftl_trace::{Locality, MultiTenantSpec, SyntheticSpec, TenantSpec};
 
 /// The FTLs under test: the paper's cached-mapping designs plus the
 /// LearnedFTL extension.
@@ -462,6 +463,169 @@ pub fn bench_sharded_write_gc(shards: u32, samples: usize, requests: usize) -> R
     }
 }
 
+/// Applies the multi-stream GC configuration measured by the aging and
+/// multi-tenant rows: four hot/cold data streams fed by the write-count
+/// temperature estimator, windowed cost-benefit victim selection with the
+/// wear tiebreak. The single-stream baseline rows keep the defaults
+/// (greedy, one stream).
+/// GC configuration for the GC-quality rows. `Wear` is the single-stream
+/// wear-aware reference the erase-CV acceptance bar is measured against
+/// (`Multi` must not spread erases less evenly than it); same
+/// `max_wear_delta` as the extensions study.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum GcVariant {
+    Greedy,
+    Multi,
+    Wear,
+}
+
+impl GcVariant {
+    fn label(self) -> &'static str {
+        match self {
+            GcVariant::Greedy => "greedy",
+            GcVariant::Multi => "multi",
+            GcVariant::Wear => "wear",
+        }
+    }
+
+    fn apply(self, config: &mut SsdConfig) {
+        match self {
+            GcVariant::Greedy => {}
+            GcVariant::Multi => {
+                config.gc_policy = GcPolicy::Windowed { window: 16 };
+                config.streams = StreamCount(4);
+            }
+            GcVariant::Wear => {
+                config.gc_policy = GcPolicy::WearAware { max_wear_delta: 16 };
+            }
+        }
+    }
+}
+
+/// The device-aging overwrite stream: write-only, Zipf-skewed over the
+/// whole address space, so a small hot set is rewritten constantly while
+/// the prefilled cold majority decays slowly — the page-lifetime mix that
+/// makes single-stream GC copy cold data over and over.
+fn aging_spec(config: &SsdConfig, requests: usize) -> SyntheticSpec {
+    SyntheticSpec {
+        name: "aging".to_string(),
+        requests,
+        address_bytes: config.logical_bytes,
+        write_ratio: 1.0,
+        seq_read_frac: 0.0,
+        seq_write_frac: 0.0,
+        locality: Locality {
+            regions: 1024,
+            theta: 1.2,
+            active_frac: 1.0,
+        },
+        ..SyntheticSpec::default()
+    }
+}
+
+/// Shared replay body of the GC-quality rows: runs `spec_requests` through
+/// a fresh device per sample and reports GC copy amplification
+/// ([`tpftl_sim::RunReport::write_amp`]) and wear evenness (`erase_cv`)
+/// next to the timing.
+fn bench_gc_quality(
+    scenario: String,
+    kind: FtlKind,
+    config: SsdConfig,
+    samples: usize,
+    requests: usize,
+    trace: impl Fn(u64) -> Box<dyn Iterator<Item = tpftl_trace::IoRequest>>,
+) -> Record {
+    let mut ns = Vec::new();
+    let mut last = None;
+    for _ in 0..samples {
+        let ftl = kind.build(&config).expect("FTL builds");
+        let mut ssd = Ssd::new(ftl, config.clone()).expect("ssd builds");
+        let t = Instant::now();
+        let report = ssd.run(trace(SEED)).expect("replay");
+        ns.push(t.elapsed().as_nanos() as f64 / requests as f64);
+        last = Some(report);
+    }
+    let report = last.expect("at least one sample");
+    Record {
+        scenario,
+        ftl: kind.build(&config).expect("FTL builds").name(),
+        ops_per_iter: requests as u64,
+        samples: ns,
+        extra: vec![
+            ("write_amp", Value::Float(report.write_amp())),
+            ("erase_cv", Value::Float(report.erase_cv())),
+            ("erases", Value::UInt(report.erase_count())),
+            ("hit_ratio", Value::Float(report.hit_ratio())),
+        ],
+    }
+}
+
+/// Device-aging GC row: the device is prefilled to 90% utilization, then
+/// the skewed overwrite stream of [`aging_spec`] keeps the collector
+/// running for the whole replay. The [`GcVariant`] selects the GC
+/// configuration; the scenario name carries it because bench-diff keys
+/// rows by (scenario, ftl).
+pub fn bench_aging_write_gc(
+    kind: FtlKind,
+    variant: GcVariant,
+    samples: usize,
+    requests: usize,
+) -> Record {
+    let mut config = micro_config();
+    config.prefill_frac = 0.9;
+    variant.apply(&mut config);
+    let spec = aging_spec(&config, requests);
+    bench_gc_quality(
+        format!("aging_write_gc_{}", variant.label()),
+        kind,
+        config,
+        samples,
+        requests,
+        move |seed| Box::new(spec.iter(seed)),
+    )
+}
+
+/// Multi-tenant GC row: a hot small-footprint write-heavy tenant and a
+/// cool wide one share a 90%-prefilled device ([`MultiTenantSpec`]), so
+/// pages of very different lifetimes arrive interleaved — the workload
+/// hot/cold stream separation exists for.
+pub fn bench_tenant_mix(
+    kind: FtlKind,
+    variant: GcVariant,
+    samples: usize,
+    requests: usize,
+) -> Record {
+    let mut config = micro_config();
+    config.prefill_frac = 0.9;
+    variant.apply(&mut config);
+    let spec = MultiTenantSpec {
+        name: "tenant_mix".to_string(),
+        requests,
+        address_bytes: config.logical_bytes,
+        tenants: vec![
+            TenantSpec {
+                write_ratio: 0.95,
+                theta: 1.2,
+                ..TenantSpec::default()
+            },
+            TenantSpec {
+                write_ratio: 0.6,
+                theta: 0.2,
+                ..TenantSpec::default()
+            },
+        ],
+        ..MultiTenantSpec::default()
+    };
+    bench_gc_quality(
+        format!("tenant_mix_{}", variant.label()),
+        kind,
+        config,
+        samples,
+        requests,
+        move |seed| Box::new(spec.iter(seed)),
+    )
+}
+
 /// Open-loop steady-state drive (see `tpftl_sim::ShardedSsd::run_open_loop`):
 /// the Financial1 trace's addresses offered at a fixed wall-clock arrival
 /// rate through per-shard submission/completion queue pairs. Unlike every
@@ -589,6 +753,28 @@ pub fn run_all(
     }
     if wanted("gc_valid_scan", "flash") {
         records.push(bench_gc_valid_scan(warmup, samples));
+    }
+    // GC-quality rows: TPFTL and DFTL, single-stream greedy baseline vs
+    // the multi-stream windowed configuration (plus the wear-aware
+    // reference the erase-CV bar is judged against), on the aging
+    // overwrite stream and the multi-tenant mix. Their payload is
+    // write_amp / erase_cv rather than ns/op, so CI excludes them from
+    // the strict latency gate and compares write_amp separately.
+    let gc_requests = if quick { 12_000 } else { 60_000 };
+    for (kind, name) in [(FtlKind::Tpftl, "TPFTL(rsbc)"), (FtlKind::Dftl, "DFTL")] {
+        for variant in [GcVariant::Greedy, GcVariant::Multi, GcVariant::Wear] {
+            if wanted(&format!("aging_write_gc_{}", variant.label()), name) {
+                records.push(bench_aging_write_gc(
+                    kind,
+                    variant,
+                    samples.min(3),
+                    gc_requests,
+                ));
+            }
+            if wanted(&format!("tenant_mix_{}", variant.label()), name) {
+                records.push(bench_tenant_mix(kind, variant, samples.min(3), gc_requests));
+            }
+        }
     }
     for &shards in shard_counts {
         let label = format!("replay_financial1_shards{shards}");

@@ -28,6 +28,40 @@ pub enum GcPolicy {
         /// Allowed spread between the most- and least-worn blocks.
         max_wear_delta: u64,
     },
+    /// Windowed cost-benefit (Dayan & Bonnet's bounded-window cleaning):
+    /// examine only the first `window` blocks of the intrusive victim
+    /// index's `(valid asc, id asc)` order — the min-valid buckets — and
+    /// pick the best `(1 − u) / 2u · age` score inside that window, exact
+    /// score ties broken toward the block with the fewest erase cycles
+    /// (cache-level wear mitigation, no separate leveling pass). The
+    /// window bounds the scan to a handful of cache lines per pick while
+    /// keeping greedy's reclaim efficiency; `window == 1` degenerates to
+    /// exactly [`GcPolicy::Greedy`].
+    Windowed {
+        /// Number of least-valid candidates scored per victim pick
+        /// (clamped to at least 1).
+        window: u32,
+    },
+}
+
+/// Number of hot/cold data streams — separate active data blocks user
+/// writes are partitioned into by write temperature. Deserializes absent
+/// (old configs) or `0` as the single-stream default; [`StreamCount::get`]
+/// is the clamped accessor allocation paths use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamCount(pub u32);
+
+impl Default for StreamCount {
+    fn default() -> Self {
+        StreamCount(1)
+    }
+}
+
+impl StreamCount {
+    /// The effective stream count (always at least 1).
+    pub fn get(self) -> u32 {
+        self.0.max(1)
+    }
 }
 
 /// Full configuration of a simulated SSD.
@@ -51,6 +85,12 @@ pub struct SsdConfig {
     /// GC victim-selection policy (the paper uses greedy).
     #[serde(default)]
     pub gc_policy: GcPolicy,
+    /// Hot/cold data-stream count. `1` (the default, and what absent keys
+    /// in old serialized configs load as) reproduces the single-stream
+    /// allocator bit for bit; with more streams, host writes are routed by
+    /// write temperature and GC migrations demote to the coldest stream.
+    #[serde(default)]
+    pub streams: StreamCount,
     /// Channel/way parallelism of the flash array (defaults to the serial
     /// single-unit device, which reproduces the old timing bit for bit).
     #[serde(default)]
@@ -82,6 +122,7 @@ impl SsdConfig {
             gc_high_blocks: 0,
             prefill_frac: 0.0,
             gc_policy: GcPolicy::Greedy,
+            streams: StreamCount(1),
             topology: FlashTopology::default(),
         };
         cfg.cache_bytes = cfg.paper_cache_bytes();
@@ -213,6 +254,7 @@ impl SsdConfig {
             gc_high_blocks: 0,
             prefill_frac: self.prefill_frac,
             gc_policy: self.gc_policy,
+            streams: self.streams,
             topology: self.topology,
         };
         let blocks = cfg.geometry().num_blocks;
@@ -274,6 +316,7 @@ mod tests {
         assert_eq!(part.num_vtpns() * 4, whole.num_vtpns());
         assert_eq!(part.over_provision, whole.over_provision);
         assert_eq!(part.gc_policy, whole.gc_policy);
+        assert_eq!(part.streams, whole.streams);
         assert_eq!(part.topology, whole.topology);
         // Watermarks follow the paper_default rule on the shard geometry.
         let blocks = part.geometry().num_blocks;
@@ -308,6 +351,26 @@ mod tests {
     #[should_panic(expected = "cannot split")]
     fn shard_config_rejects_unsupported_counts() {
         let _ = SsdConfig::paper_default(4 << 20).shard_config(2);
+    }
+
+    #[test]
+    fn streams_default_and_shard_inheritance() {
+        let mut cfg = SsdConfig::paper_default(512 << 20);
+        assert_eq!(cfg.streams.get(), 1);
+        // The degenerate zero count clamps to one stream.
+        assert_eq!(StreamCount(0).get(), 1);
+        cfg.streams = StreamCount(3);
+        assert_eq!(cfg.shard_config(4).streams, StreamCount(3));
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SsdConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.streams, StreamCount(3));
+        // Old serialized configs (no streams key) load single-stream.
+        let legacy = r#"{"logical_bytes":536870912,"over_provision":0.15,
+            "cache_bytes":8704,"gc_low_blocks":2,"gc_high_blocks":3,
+            "prefill_frac":0.0}"#;
+        let back: SsdConfig = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.streams, StreamCount(1));
+        assert_eq!(back.gc_policy, GcPolicy::Greedy);
     }
 
     #[test]

@@ -58,6 +58,69 @@ impl GcStats {
     }
 }
 
+/// Per-LPN write-temperature estimator: a decayed write count per page.
+///
+/// Each host write bumps its page's saturating 8-bit counter and the write
+/// is routed to stream `floor(log2(count))` (clamped to the configured
+/// stream count) — a page must be re-written within the decay window to
+/// leave the cold stream, and doubling counts buy hotter streams. After
+/// every `decay_every` host writes all counters halve, so idle pages cool
+/// back toward stream 0 and the classes track the *recent* write rate, not
+/// lifetime totals. GC migrations bypass the estimator entirely: a page
+/// that survived collection is cold by demonstration and is demoted to
+/// stream 0.
+///
+/// The estimator is volatile by design: a remount starts cold (everything
+/// back in stream 0) and re-learns, so crash recovery never depends on it.
+/// With one stream it keeps no state and classifies nothing.
+#[derive(Debug, Clone)]
+struct HeatTracker {
+    /// Decayed write count per LPN; empty in the single-stream case.
+    heat: Vec<u8>,
+    /// Effective stream count (≥ 1).
+    streams: usize,
+    writes_since_decay: u64,
+    /// Host writes between halvings — half an overwrite pass of the
+    /// device: long enough that a genuinely hot page is re-written within
+    /// it, short enough that yesterday's hot data cools.
+    decay_every: u64,
+}
+
+impl HeatTracker {
+    fn new(logical_pages: u64, streams: usize) -> Self {
+        let streams = streams.max(1);
+        Self {
+            heat: if streams > 1 {
+                vec![0; logical_pages as usize]
+            } else {
+                Vec::new()
+            },
+            streams,
+            writes_since_decay: 0,
+            decay_every: (logical_pages / 2).max(1024),
+        }
+    }
+
+    /// Records a host write of `lpn` and returns its stream (0 = coldest).
+    #[inline]
+    fn on_host_write(&mut self, lpn: Lpn) -> usize {
+        if self.streams == 1 {
+            return 0;
+        }
+        let h = &mut self.heat[lpn as usize];
+        *h = h.saturating_add(1);
+        let stream = (*h as u32).ilog2() as usize;
+        self.writes_since_decay += 1;
+        if self.writes_since_decay >= self.decay_every {
+            self.writes_since_decay = 0;
+            for h in &mut self.heat {
+                *h >>= 1;
+            }
+        }
+        stream.min(self.streams - 1)
+    }
+}
+
 /// Flash device + block manager + GTD + counters.
 pub struct SsdEnv {
     config: SsdConfig,
@@ -88,6 +151,8 @@ pub struct SsdEnv {
     pub(crate) gc_page_scratch: Vec<(Ppn, u32)>,
     /// Scratch for the (LPN, new PPN) pairs a data-block collection moves.
     pub(crate) gc_moved_scratch: Vec<(Lpn, Ppn)>,
+    /// Write-temperature estimator routing host writes to data streams.
+    heat: HeatTracker,
 }
 
 impl SsdEnv {
@@ -95,7 +160,8 @@ impl SsdEnv {
     pub fn new(config: SsdConfig) -> Result<Self> {
         let geom = config.geometry();
         let flash = Flash::new(geom.clone())?;
-        let blocks = BlockManager::new(geom.num_blocks, geom.pages_per_block);
+        let blocks =
+            BlockManager::with_streams(geom.num_blocks, geom.pages_per_block, config.streams.get());
         let gtd = Gtd::new(config.num_vtpns() as usize);
         let entries_per_tp = config.entries_per_tp();
         assert!(
@@ -110,6 +176,7 @@ impl SsdEnv {
             tp_scratch: Vec::new(),
             gc_page_scratch: Vec::new(),
             gc_moved_scratch: Vec::new(),
+            heat: HeatTracker::new(config.logical_pages(), config.streams.get() as usize),
             config,
             flash,
             blocks,
@@ -198,6 +265,23 @@ impl SsdEnv {
         self.blocks.max_wear()
     }
 
+    /// Exact per-block erase-count sums `(blocks, Σw, Σw²)` over the whole
+    /// device — integer moments, so merging shards stays exact and the
+    /// erase-count CV can be computed after any merge.
+    pub fn wear_summary(&self) -> (u64, u64, u64) {
+        let blocks = self.flash.geometry().num_blocks;
+        let (mut sum, mut sq) = (0u64, 0u64);
+        for b in 0..blocks {
+            let w = self
+                .flash
+                .erase_count(b as tpftl_flash::BlockId)
+                .unwrap_or(0);
+            sum += w;
+            sq += w * w;
+        }
+        (blocks as u64, sum, sq)
+    }
+
     /// Validates that `lpn` is inside the exported logical space.
     pub fn check_lpn(&self, lpn: Lpn) -> Result<()> {
         if (lpn as u64) < self.config.logical_pages() {
@@ -244,8 +328,19 @@ impl SsdEnv {
     // ---- Data-page operations ----------------------------------------------
 
     /// Allocates and programs a data page for `lpn`; returns its PPN.
+    ///
+    /// Host writes are classified by the write-temperature estimator and
+    /// land in their stream's active block; everything else — GC
+    /// migrations above all — is demoted to the cold stream (stream 0), so
+    /// data that survived a collection stops recirculating through hot
+    /// blocks. With one stream (the default) both paths are the same
+    /// active block and the estimator is a no-op.
     pub fn program_data_page(&mut self, lpn: Lpn, purpose: OpPurpose) -> Result<Ppn> {
-        let ppn = self.blocks.alloc_page(AllocClass::Data, &self.flash)?;
+        let stream = match purpose {
+            OpPurpose::HostData => self.heat.on_host_write(lpn),
+            _ => 0,
+        };
+        let ppn = self.blocks.alloc_data_page(stream, &self.flash)?;
         self.flash.program_page(ppn, lpn, purpose)?;
         Ok(ppn)
     }
@@ -447,7 +542,7 @@ impl SsdEnv {
     /// mount time (see [`crate::recovery::mount`]): block bookkeeping is
     /// rebuilt by scanning the device, statistics start from zero.
     pub fn remount(config: SsdConfig, flash: Flash, gtd: crate::gtd::Gtd) -> Result<Self> {
-        let blocks = crate::blockmgr::BlockManager::rebuild(&flash)?;
+        let blocks = crate::blockmgr::BlockManager::rebuild(&flash, config.streams.get())?;
         let entries_per_tp = config.entries_per_tp();
         assert!(
             entries_per_tp.is_power_of_two(),
@@ -461,6 +556,9 @@ impl SsdEnv {
             tp_scratch: Vec::new(),
             gc_page_scratch: Vec::new(),
             gc_moved_scratch: Vec::new(),
+            // The temperature estimator is volatile: every mount starts
+            // cold and re-learns, so streams carry no recovery obligations.
+            heat: HeatTracker::new(config.logical_pages(), config.streams.get() as usize),
             config,
             flash,
             blocks,
@@ -665,6 +763,47 @@ mod tests {
         env.reset_stats();
         assert_eq!(env.stats, FtlStats::default());
         assert_eq!(env.flash().stats().total_writes(), 0);
+    }
+
+    #[test]
+    fn hot_rewrites_leave_the_cold_stream() {
+        let mut cfg = tiny_config();
+        cfg.streams = crate::config::StreamCount(2);
+        let mut env = SsdEnv::new(cfg).unwrap();
+        // First writes are cold (count 1 → stream 0)...
+        let cold = env.program_data_page(7, OpPurpose::HostData).unwrap();
+        let other = env.program_data_page(8, OpPurpose::HostData).unwrap();
+        let geom = env.flash().geometry().clone();
+        assert_eq!(geom.block_of(cold), geom.block_of(other));
+        // ...but a re-written page goes hot (count 2 → stream 1) and must
+        // land in a different active block.
+        let hot = env.program_data_page(7, OpPurpose::HostData).unwrap();
+        assert_ne!(geom.block_of(hot), geom.block_of(cold));
+        // A GC migration of the same hot LPN demotes back to the cold
+        // stream regardless of its heat.
+        let demoted = env.program_data_page(7, OpPurpose::GcData).unwrap();
+        assert_eq!(geom.block_of(demoted), geom.block_of(cold));
+    }
+
+    #[test]
+    fn wear_summary_counts_every_block_exactly() {
+        let mut env = SsdEnv::new(tiny_config()).unwrap();
+        let blocks = env.flash().geometry().num_blocks as u64;
+        assert_eq!(env.wear_summary(), (blocks, 0, 0));
+        // Program one block full of dead pages (the extra program seals
+        // it), then erase it: one block at wear 1.
+        let geom = env.flash().geometry().clone();
+        for _ in 0..=geom.pages_per_block {
+            let ppn = env.program_data_page(1, OpPurpose::HostData).unwrap();
+            env.invalidate_page(ppn).unwrap();
+        }
+        let (victim, _) = env
+            .blocks
+            .pick_victim(crate::config::GcPolicy::Greedy)
+            .unwrap();
+        env.flash.erase_block(victim, OpPurpose::GcData).unwrap();
+        env.blocks.on_erased(victim);
+        assert_eq!(env.wear_summary(), (blocks, 1, 1));
     }
 
     #[test]

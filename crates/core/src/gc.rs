@@ -17,10 +17,16 @@ use crate::{FtlError, Result};
 /// Runs GC until the free pool reaches the configured high watermark, if it
 /// has dropped below the low watermark. Call before serving each request.
 pub fn ensure_free<F: Ftl + ?Sized>(ftl: &mut F, env: &mut SsdEnv) -> Result<()> {
-    if env.free_blocks() >= env.config().gc_low_blocks {
+    // Every open data stream beyond the first can swallow a free block on
+    // any single write (each stream seals and replaces its active block
+    // independently), so the watermarks shift up by streams−1 to preserve
+    // the configured headroom. With one stream this is exactly the
+    // configured pair, bit-identical to the single-stream behaviour.
+    let slack = env.blocks.streams() - 1;
+    if env.free_blocks() >= env.config().gc_low_blocks + slack {
         return Ok(());
     }
-    while env.free_blocks() < env.config().gc_high_blocks {
+    while env.free_blocks() < env.config().gc_high_blocks + slack {
         collect_one(ftl, env)?;
     }
     Ok(())

@@ -37,6 +37,18 @@ pub struct FtlStats {
     /// demand-paged fallback (LearnedFTL only).
     #[serde(default)]
     pub mispredicts: u64,
+    /// Physical blocks summarized in the wear moments below (snapshotted
+    /// at report time from the device's erase counters).
+    #[serde(default)]
+    pub wear_blocks: u64,
+    /// Sum of per-block erase counts (`Σw`).
+    #[serde(default)]
+    pub wear_sum: u64,
+    /// Sum of squared per-block erase counts (`Σw²`). Kept as exact
+    /// integer moments so per-shard merges stay additive and the CV of the
+    /// merged population is exact, not an average of shard CVs.
+    #[serde(default)]
+    pub wear_sq_sum: u64,
 }
 
 impl FtlStats {
@@ -75,6 +87,20 @@ impl FtlStats {
         ratio(self.mispredicts, self.predict_hits + self.mispredicts)
     }
 
+    /// Coefficient of variation of the per-block erase counts — the
+    /// wear-evenness metric (0 = perfectly even or unworn). Computed from
+    /// the exact integer moments, so it is identical whether the device
+    /// ran as one queue or as merged shards.
+    pub fn erase_cv(&self) -> f64 {
+        if self.wear_blocks == 0 || self.wear_sum == 0 {
+            return 0.0;
+        }
+        let n = self.wear_blocks as f64;
+        let mean = self.wear_sum as f64 / n;
+        let var = (self.wear_sq_sum as f64 / n) - mean * mean;
+        var.max(0.0).sqrt() / mean
+    }
+
     /// Adds `other`'s counters into `self` — the sharded engine's
     /// per-shard stats merge (pure integer sums, order-independent).
     pub fn merge_from(&mut self, other: &FtlStats) {
@@ -89,6 +115,9 @@ impl FtlStats {
         self.requests += other.requests;
         self.predict_hits += other.predict_hits;
         self.mispredicts += other.mispredicts;
+        self.wear_blocks += other.wear_blocks;
+        self.wear_sum += other.wear_sum;
+        self.wear_sq_sum += other.wear_sq_sum;
     }
 }
 
@@ -118,6 +147,9 @@ mod tests {
             requests: 6,
             predict_hits: 2,
             mispredicts: 2,
+            wear_blocks: 0,
+            wear_sum: 0,
+            wear_sq_sum: 0,
         };
         assert!((s.hit_ratio() - 0.7).abs() < 1e-12);
         assert!((s.dirty_replacement_prob() - 0.25).abs() < 1e-12);
@@ -134,5 +166,29 @@ mod tests {
         assert_eq!(s.hit_ratio(), 0.0);
         assert_eq!(s.dirty_replacement_prob(), 0.0);
         assert_eq!(s.gc_hit_ratio(), 0.0);
+        assert_eq!(s.erase_cv(), 0.0);
+    }
+
+    #[test]
+    fn erase_cv_is_exact_under_shard_merges() {
+        // Two shards: one with blocks worn [2, 2], one with [0, 4]. The
+        // merged population [2, 2, 0, 4] has mean 2 and variance 2, so
+        // CV = √2 / 2 — and the merged moments must give exactly that,
+        // not the average of the per-shard CVs (0 and 1).
+        let mut a = FtlStats {
+            wear_blocks: 2,
+            wear_sum: 4,
+            wear_sq_sum: 8,
+            ..FtlStats::default()
+        };
+        let b = FtlStats {
+            wear_blocks: 2,
+            wear_sum: 4,
+            wear_sq_sum: 16,
+            ..FtlStats::default()
+        };
+        assert_eq!(a.erase_cv(), 0.0);
+        a.merge_from(&b);
+        assert!((a.erase_cv() - 2.0f64.sqrt() / 2.0).abs() < 1e-12);
     }
 }

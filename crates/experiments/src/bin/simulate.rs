@@ -11,7 +11,10 @@
 //!   --cache-bytes N     total mapping-cache budget incl. GTD
 //!   --cache-frac F      budget as a fraction of the full table
 //!   --prefill F         pre-written fraction of the logical space
-//!   --gc POLICY         greedy | cost-benefit | wear-aware:N (default greedy)
+//!   --gc POLICY         greedy | cost-benefit | wear-aware:N | windowed:N
+//!                       (default greedy)
+//!   --streams N         hot/cold data streams for GC data separation
+//!                       (default 1 = no separation)
 //!   --buffer PAGES      host write buffer size (default none)
 //!   --shards N          replay on the sharded multi-queue engine with N
 //!                       LPN-striped shards (power of two, default 1)
@@ -45,7 +48,7 @@ use tpftl_trace::{parse, IoRequest};
 
 const USAGE: &str = "usage: simulate [--ftl NAME] [--workload NAME | --trace FILE]
                 [--requests N] [--seed N] [--cache-bytes N | --cache-frac F]
-                [--prefill F] [--gc POLICY] [--buffer PAGES] [--shards N]
+                [--prefill F] [--gc POLICY] [--streams N] [--buffer PAGES] [--shards N]
                 [--channels N] [--ways N] [--bus-us F] [--backing PATH]
                 [--open-loop RATE] [--qd N] [--json]
 run `simulate --help` for details";
@@ -60,6 +63,7 @@ struct Options {
     cache_frac: Option<f64>,
     prefill: Option<f64>,
     gc: GcPolicy,
+    streams: u32,
     buffer: usize,
     shards: u32,
     channels: u32,
@@ -82,6 +86,7 @@ fn parse_args() -> Result<Options, String> {
         cache_frac: None,
         prefill: None,
         gc: GcPolicy::Greedy,
+        streams: 1,
         buffer: 0,
         shards: 1,
         channels: 1,
@@ -134,7 +139,16 @@ fn parse_args() -> Result<Options, String> {
                             .parse()
                             .map_err(|e| format!("{e}"))?,
                     },
+                    s if s.starts_with("windowed:") => GcPolicy::Windowed {
+                        window: s["windowed:".len()..].parse().map_err(|e| format!("{e}"))?,
+                    },
                     other => return Err(format!("unknown GC policy {other}")),
+                }
+            }
+            "--streams" => {
+                o.streams = value("--streams")?.parse().map_err(|e| format!("{e}"))?;
+                if o.streams == 0 {
+                    return Err("--streams must be at least 1".to_string());
                 }
             }
             "--buffer" => o.buffer = value("--buffer")?.parse().map_err(|e| format!("{e}"))?,
@@ -266,6 +280,7 @@ fn main() -> ExitCode {
         _ => 0.0,
     });
     config.gc_policy = o.gc;
+    config.streams = tpftl_core::config::StreamCount(o.streams);
     config.topology.channels = o.channels;
     config.topology.ways = o.ways;
     config.topology.bus_us = o.bus_us;
@@ -505,6 +520,11 @@ fn print_report(report: &tpftl_sim::RunReport, config: &tpftl_core::SsdConfig) {
         report.translation_writes()
     );
     println!("write amplification: {:.3}", report.write_amplification());
+    println!(
+        "gc copy amp:         {:.3} (erase-count CV {:.3})",
+        report.write_amp(),
+        report.erase_cv()
+    );
     println!("block erases:        {}", report.erase_count());
     println!("avg response:        {:.1} us", report.avg_response_us);
     let sim = &report.sim;

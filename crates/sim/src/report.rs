@@ -97,6 +97,26 @@ impl RunReport {
     pub fn erase_count(&self) -> u64 {
         self.flash.total_erases()
     }
+
+    /// GC copy amplification: valid pages the collector migrated (data +
+    /// translation) per host page write — the Eq. 12–13 cost the
+    /// multi-stream GC exists to shrink. 0 when nothing was written.
+    /// Unlike [`RunReport::write_amplification`] (flash writes ÷ host
+    /// writes) this isolates the GC contribution, so mapping-table
+    /// writeback traffic does not dilute the comparison between GC
+    /// policies.
+    pub fn write_amp(&self) -> f64 {
+        if self.ftl_stats.user_page_writes == 0 {
+            return 0.0;
+        }
+        (self.gc.data_pages_migrated + self.gc.trans_pages_migrated) as f64
+            / self.ftl_stats.user_page_writes as f64
+    }
+
+    /// Coefficient of variation of per-block erase counts (wear evenness).
+    pub fn erase_cv(&self) -> f64 {
+        self.ftl_stats.erase_cv()
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +140,12 @@ mod tests {
         r.ftl_stats.hits = 9;
         assert!((r.hit_ratio() - 0.9).abs() < 1e-12);
         assert_eq!(r.write_amplification(), 0.0);
+        assert_eq!(r.write_amp(), 0.0);
+        assert_eq!(r.erase_cv(), 0.0);
+        r.ftl_stats.user_page_writes = 10;
+        r.gc.data_pages_migrated = 4;
+        r.gc.trans_pages_migrated = 1;
+        assert!((r.write_amp() - 0.5).abs() < 1e-12);
         // Serializes round-trip (the experiment harness persists these).
         let json = serde_json::to_string(&r).unwrap();
         let back: RunReport = serde_json::from_str(&json).unwrap();

@@ -261,7 +261,14 @@ impl<F: Ftl> Ssd<F> {
     pub fn report(&self) -> RunReport {
         RunReport {
             ftl: self.ftl.name(),
-            ftl_stats: self.env.stats.clone(),
+            ftl_stats: {
+                // Snapshot the device's erase-count moments so the report
+                // carries the wear-evenness metric; kept as exact integer
+                // sums so the sharded engine's merge stays additive.
+                let mut stats = self.env.stats.clone();
+                (stats.wear_blocks, stats.wear_sum, stats.wear_sq_sum) = self.env.wear_summary();
+                stats
+            },
             flash: self.env.flash().stats().clone(),
             gc: self.env.gc_stats.clone(),
             avg_response_us: if self.responses == 0 {

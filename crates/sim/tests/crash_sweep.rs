@@ -105,6 +105,39 @@ fn learned_ftl_power_loss_at_every_op_index_is_recoverable() {
     }
 }
 
+/// The exhaustive sweep under the multi-stream GC data plane: stream
+/// assignment is volatile RAM state (the write-temperature estimator is
+/// rebuilt cold on mount), so a crash at any op index with two open data
+/// streams and windowed victim selection must recover exactly like the
+/// single-stream device — durable pages identify themselves through their
+/// OOB tags regardless of which stream's block they landed in.
+#[test]
+fn two_stream_power_loss_at_every_op_index_is_recoverable() {
+    let mut c = config();
+    c.streams = tpftl_core::config::StreamCount(2);
+    c.gc_policy = tpftl_core::config::GcPolicy::Windowed { window: 8 };
+    let h = CrashHarness::new(c, trace());
+    let horizon = h.baseline_ops(ftl(h.config())).expect("baseline");
+    assert!(
+        horizon > 1_000,
+        "trace too small to be interesting: {horizon}"
+    );
+    for op in 0..horizon {
+        let out = h
+            .run_to_crash(ftl(h.config()), FaultPlan::at_op(op))
+            .unwrap_or_else(|e| panic!("op {op}: harness error {e}"));
+        assert!(
+            out.is_durable(),
+            "op {op} ({:?}): {} violations, {} verify errors\n{}\n{}",
+            out.recovery.interrupted,
+            out.violations.len(),
+            out.verify.errors.len(),
+            out.violations.join("\n"),
+            out.verify.errors.join("\n")
+        );
+    }
+}
+
 /// The other trigger modes — Kth translation-page write, Kth erase —
 /// reach states the flat op sweep also covers, but must fire where they
 /// say they do.

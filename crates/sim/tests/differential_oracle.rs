@@ -102,14 +102,12 @@ fn replay(mut ftl: Box<dyn Ftl>, c: &SsdConfig, reqs: &[IoRequest]) -> (Vec<Lpn>
     (mapped, shadow.len() as u64)
 }
 
-#[test]
-fn all_ftls_agree_on_read_your_writes() {
-    let c = config();
+fn run_differential(c: &SsdConfig) {
     let reqs = trace();
     let mut results: Vec<(String, Vec<Lpn>, u64)> = Vec::new();
-    for ftl in ftls(&c) {
+    for ftl in ftls(c) {
         let name = ftl.name();
-        let (mapped, shadowed) = replay(ftl, &c, &reqs);
+        let (mapped, shadowed) = replay(ftl, c, &reqs);
         assert_eq!(
             mapped.len() as u64,
             shadowed,
@@ -130,6 +128,23 @@ fn all_ftls_agree_on_read_your_writes() {
         !ref_mapped.is_empty(),
         "trace wrote nothing — oracle is vacuous"
     );
+}
+
+#[test]
+fn all_ftls_agree_on_read_your_writes() {
+    run_differential(&config());
+}
+
+/// The same oracle under the multi-stream GC data plane: two hot/cold
+/// streams plus windowed victim selection must not change read-your-writes
+/// behaviour for any FTL — stream placement moves pages between blocks,
+/// never between logical identities.
+#[test]
+fn all_ftls_agree_with_two_streams_and_windowed_gc() {
+    let mut c = config();
+    c.streams = tpftl_core::config::StreamCount(2);
+    c.gc_policy = tpftl_core::config::GcPolicy::Windowed { window: 8 };
+    run_differential(&c);
 }
 
 /// Adversarial trace for the learned mapping: a fully pre-filled device

@@ -24,12 +24,14 @@ pub mod parse;
 pub mod presets;
 pub mod stats;
 pub mod synth;
+pub mod tenants;
 
 pub use openloop::{fixed_rate, FixedRate};
 pub use request::{Dir, IoRequest};
 pub use shard::ShardSplitter;
 pub use stats::TraceStats;
 pub use synth::{Locality, SyntheticSpec};
+pub use tenants::{MultiTenantSpec, TenantSpec};
 pub use zipf::ZipfRegions;
 
 /// Bytes per disk sector; trace LBAs are sector-granular.
